@@ -1,0 +1,25 @@
+"""§2.1 extension ablation — dedicated copy-out hardware.
+
+The paper charges every copy and verification-copy to the producer
+cluster's issue width and notes that real hardware could avoid this.
+This benchmark quantifies that headroom: how much of the clustering
+penalty is copy *bandwidth* (recoverable with more hardware) vs copy
+*latency* (recoverable only by prediction).
+"""
+
+from repro.analysis import format_ablation, run_ablation_free_copies
+
+
+def test_ablation_free_copies(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_free_copies, rounds=1,
+                                iterations=1)
+    save_report("ablation_free_copies", format_ablation(
+        result, "Section 2.1 extension — free copy issue (4 clusters)",
+        "(free copies remove the width cost but not the wire latency; "
+        "value prediction removes both)"))
+    rows = result.rows
+    assert rows["free copies, no VP"]["ipc"] >= rows["paper, no VP"]["ipc"]
+    assert rows["free copies, VPB"]["ipc"] >= rows["paper, VPB"]["ipc"] * 0.99
+    # Prediction still helps even with free copies (latency remains).
+    assert (rows["free copies, VPB"]["ipc"]
+            > rows["free copies, no VP"]["ipc"])

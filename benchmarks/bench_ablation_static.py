@@ -1,0 +1,27 @@
+"""§5 related-work ablation — dynamic vs static code partitioning.
+
+The paper dismisses static partitioning (Sastry et al.) as "less
+flexible and less effective than a dynamic approach".  We give the
+static scheme a perfect profile (trained on the very trace it runs) and
+it still loses: it minimizes communication but cannot react to run-time
+imbalance, which is the trade-off §2.3 frames the whole steering problem
+around.
+"""
+
+from repro.analysis import format_ablation, run_ablation_static
+
+
+def test_ablation_static(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_static, rounds=1, iterations=1)
+    save_report("ablation_static", format_ablation(
+        result, "Static vs dynamic partitioning (4 clusters)",
+        "(paper 5: dynamic steering beats static even with perfect "
+        "profiles)"))
+    rows = result.rows
+    assert (rows["baseline (dynamic)"]["ipc"]
+            > rows["static (perfect profile)"]["ipc"])
+    assert (rows["vpb (dynamic + VP)"]["ipc"]
+            > rows["static (perfect profile)"]["ipc"])
+    # The static scheme's one advantage: fewer communications.
+    assert (rows["static (perfect profile)"]["comm"]
+            < rows["baseline (dynamic)"]["comm"])

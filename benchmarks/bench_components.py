@@ -1,0 +1,65 @@
+"""Component micro-benchmarks: raw speed of the simulator substrates.
+
+Not a paper figure — these keep the Python model's performance honest
+(regressions here make the figure benchmarks unusable) and provide
+pytest-benchmark with hot loops worth timing statistically.
+"""
+
+import random
+
+from repro.core import make_config, simulate
+from repro.frontend import CombinedPredictor
+from repro.memory import Cache
+from repro.predictor import StridePredictor
+from repro.workloads import workload_trace
+
+
+def test_bench_cache_access(benchmark):
+    cache = Cache("L1", 64 * 1024, 2, 32, 1, memory_latency=32)
+    rng = random.Random(7)
+    addrs = [rng.randrange(0, 1 << 20) & ~3 for _ in range(4096)]
+
+    def run():
+        total = 0
+        for addr in addrs:
+            total += cache.access(addr)
+        return total
+
+    benchmark(run)
+
+
+def test_bench_stride_predictor(benchmark):
+    predictor = StridePredictor(16 * 1024)
+    pcs = [(0x1000 + 4 * i, i & 1) for i in range(512)]
+
+    def run():
+        for step in range(8):
+            for pc, slot in pcs:
+                predictor.predict(pc, slot, step * 4)
+                predictor.update(pc, slot, step * 4)
+
+    benchmark(run)
+
+
+def test_bench_branch_predictor(benchmark):
+    predictor = CombinedPredictor()
+    rng = random.Random(3)
+    branches = [(0x2000 + 4 * (i % 64), rng.random() < 0.7)
+                for i in range(4096)]
+
+    def run():
+        for pc, taken in branches:
+            predictor.predict(pc)
+            predictor.update(pc, taken)
+
+    benchmark(run)
+
+
+def test_bench_simulator_throughput(benchmark):
+    trace = workload_trace("cjpeg", 4000)
+    config = make_config(4, predictor="stride", steering="vpb")
+
+    def run():
+        return simulate(list(trace), config).stats.cycles
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,19 @@
+"""Figure 2 — IPC of 1/2/4-cluster configurations, +/- value prediction.
+
+Shape targets: IPC decreases with clustering; value prediction helps,
+and helps the clustered machines more than the centralized one
+(paper: +2% / +5% / +16% with baseline steering).
+"""
+
+from repro.analysis import format_figure2, run_figure2
+
+
+def test_figure2_ipc(benchmark, save_report):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    save_report("figure2_ipc", format_figure2(result))
+    avg = {key: result.average(key) for key in result.CONFIGS}
+    # Clustering degrades IPC (with and without prediction).
+    assert avg[(1, False)] > avg[(2, False)] > avg[(4, False)]
+    assert avg[(1, True)] > avg[(2, True)] > avg[(4, True)]
+    # Prediction helps the 4-cluster machine more than the centralized.
+    assert (result.prediction_gain_pct(4) > result.prediction_gain_pct(1))

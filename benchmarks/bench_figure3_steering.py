@@ -1,0 +1,31 @@
+"""Figure 3 — Baseline/VPB x {no,stride,perfect} prediction at 2/4 clusters.
+
+Shape targets (4 clusters): IPCR ordering baseline-nopredict <
+baseline-predict < vpb-predict < vpb-perfect (paper: 0.65 / 0.74 /
+0.77 / 0.90); VPB cuts communications roughly in half; perfect
+prediction leaves only fp communications.
+"""
+
+import pathlib
+
+from repro.analysis import format_figure3, run_figure3, to_csv
+
+
+def test_figure3_steering(benchmark, save_report):
+    result = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    save_report("figure3_steering", format_figure3(result))
+    # Per-benchmark detail as CSV for external plotting.
+    rows = [{"clusters": n, "scheme": scheme, "benchmark": name, **metrics}
+            for (n, scheme, name), metrics in result.per_benchmark.items()]
+    csv_path = (pathlib.Path(__file__).resolve().parent.parent
+                / "results" / "figure3_per_benchmark.csv")
+    to_csv(rows, str(csv_path))
+    for n in (2, 4):
+        ipcr = result.ipcr[n]
+        comm = result.comm[n]
+        assert ipcr["baseline-nopredict"] <= ipcr["vpb-predict"]
+        assert ipcr["vpb-predict"] < ipcr["vpb-perfect"]
+        # VPB communications well below the no-prediction baseline.
+        assert comm["vpb-predict"] < 0.75 * comm["baseline-nopredict"]
+        # Perfect prediction: only fp values cross clusters.
+        assert comm["vpb-perfect"] < 0.25 * comm["baseline-nopredict"]

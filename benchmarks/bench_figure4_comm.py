@@ -1,0 +1,34 @@
+"""Figure 4 — sensitivity to communication latency (a) and bandwidth (b).
+
+Shape targets: IPC falls monotonically as latency grows 1->4 (paper:
+-17% at 4c with prediction, -20% without — prediction softens the
+blow); a single path per cluster costs very little vs unbounded
+(paper: ~1%).
+"""
+
+from repro.analysis import (format_figure4, run_figure4_bandwidth,
+                            run_figure4_latency)
+
+
+def test_figure4a_latency(benchmark, save_report):
+    result = benchmark.pedantic(run_figure4_latency, rounds=1, iterations=1)
+    save_report("figure4a_latency", format_figure4(result, "a"))
+    for key, series in result.ipc.items():
+        values = [series[x] for x in result.xvalues]
+        assert values == sorted(values, reverse=True), (
+            f"IPC should fall with latency for {key}: {values}")
+    # Prediction reduces the latency penalty at 4 clusters.
+    assert (result.degradation_pct((4, True))
+            < result.degradation_pct((4, False)) + 1.0)
+
+
+def test_figure4b_bandwidth(benchmark, save_report):
+    result = benchmark.pedantic(run_figure4_bandwidth, rounds=1,
+                                iterations=1)
+    save_report("figure4b_bandwidth", format_figure4(result, "b"))
+    for key in result.ipc:
+        # One path per cluster loses little vs unbounded (paper: ~1%).
+        assert result.degradation_pct(key) > -6.0
+        one = result.ipc[key][1]
+        unbounded = result.ipc[key]["unbounded"]
+        assert one >= 0.93 * unbounded

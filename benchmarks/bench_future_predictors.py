@@ -1,0 +1,26 @@
+"""§6 future-work experiment — "more complex and effective predictors".
+
+The paper's closing claim is that its deliberately simple stride
+predictor leaves performance on the table.  This benchmark tests that
+claim with the context (FCM) and hybrid tournament predictors from the
+Sazeides-Smith family the paper itself cites ([19]): both should sit
+between the stride predictor and the perfect upper bound.
+"""
+
+from repro.analysis import format_ablation, run_predictor_comparison
+
+
+def test_future_predictors(benchmark, save_report):
+    result = benchmark.pedantic(run_predictor_comparison, rounds=1,
+                                iterations=1)
+    save_report("future_predictors", format_ablation(
+        result, "Value predictor families (4 clusters, VPB)",
+        "(paper 6: better predictors should improve VPB further; "
+        "perfect is the ceiling)"))
+    rows = result.rows
+    assert rows["stride"]["ipc"] > rows["none"]["ipc"]
+    # The hybrid should beat (or at worst match) the simple stride
+    # predictor, validating the paper's closing conjecture.
+    assert rows["hybrid"]["ipc"] >= rows["stride"]["ipc"] * 0.995
+    assert rows["perfect"]["ipc"] >= rows["hybrid"]["ipc"]
+    assert rows["hybrid"]["comm"] <= rows["stride"]["comm"] * 1.05

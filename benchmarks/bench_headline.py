@@ -1,0 +1,23 @@
+"""§1/§6 headline numbers — paper vs measured, in one table.
+
+The central claim: value prediction reduces the IPC degradation caused
+by inter-cluster communication by ~18% on a 4-cluster machine (IPCR4
+0.65 -> 0.77), halves the communication rate, and benefits the
+clustered machine far more than the centralized one (+21% vs +2% IPC).
+"""
+
+from repro.analysis import format_headline, run_headline
+
+
+def test_headline(benchmark, save_report):
+    result = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+    save_report("headline", format_headline(result))
+    m = result.measured
+    # Direction and rough magnitude of every headline claim.
+    assert m["ipcr4_vpb"] > m["ipcr4_baseline_nopredict"]
+    assert m["ipcr4_gain_pct"] > 6.0
+    assert m["ipcr2_vpb"] > m["ipcr2_baseline_nopredict"]
+    assert m["comm4_vpb"] < 0.75 * m["comm4_nopredict"]
+    # Clustered machines gain more from prediction than the centralized.
+    assert m["ipc_gain_pct_4c"] > m["ipc_gain_pct_1c"]
+    assert m["ipc_gain_pct_2c"] > m["ipc_gain_pct_1c"] - 1.0

@@ -1,0 +1,27 @@
+"""Extension — cluster-count scaling of the paper's thesis.
+
+The paper generalizes clustered designs "to an arbitrary number of
+homogeneous clusters" (§5) but evaluates 1/2/4. Extending Table 1's
+structure-scaling rule to 8 clusters tests the thesis's extrapolation:
+the deeper the clustering, the larger the share of the IPC loss that is
+communication — and hence the more value prediction recovers.
+"""
+
+from repro.analysis import run_scaling
+from repro.analysis.report import format_scaling
+
+
+def test_cluster_scaling(benchmark, save_report):
+    result = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    save_report("scaling", format_scaling(result))
+    # IPC monotonically decreases with clustering, both ways.
+    for predict in (False, True):
+        series = [result.ipc[(n, predict)] for n in result.counts]
+        assert series == sorted(series, reverse=True)
+    # Communications grow with clustering (no-VP side).
+    comms = [result.comm[(n, False)] for n in result.counts]
+    assert comms == sorted(comms)
+    # The paper's thesis, extrapolated: VP's gain grows with clustering.
+    gains = [result.vp_gain_pct(n) for n in result.counts]
+    assert gains[-1] > gains[0]
+    assert gains[-1] > gains[1]

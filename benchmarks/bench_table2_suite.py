@@ -1,0 +1,34 @@
+"""Table 2 — the workload suite inventory.
+
+Prints each stand-in's category, the paper's dynamic instruction count,
+and the stand-in's own static/dynamic sizes; benchmarks the functional
+executor (trace generation throughput).
+"""
+
+from repro.analysis import table, trace_length
+from repro.isa.executor import FunctionalExecutor
+from repro.workloads import (SUITE, build_workload, trace_statistics,
+                             workload_trace)
+
+
+def test_table2_suite(benchmark, save_report):
+    length = trace_length()
+    rows = []
+    for name, spec in SUITE.items():
+        program = build_workload(name)
+        stats = trace_statistics(workload_trace(name, length))
+        rows.append([name, spec.category, f"{spec.paper_minsts:.1f}",
+                     program.static_size, stats["instructions"],
+                     f"{100 * stats['load_fraction']:.0f}%",
+                     f"{100 * stats['branch_fraction']:.0f}%",
+                     f"{100 * stats['fp_fraction']:.0f}%"])
+    report = table(
+        ["benchmark", "category", "paper Minst", "static", "dynamic",
+         "loads", "branches", "fp"],
+        rows, "Table 2 — Mediabench stand-in suite")
+    save_report("table2_suite", report)
+
+    program = build_workload("cjpeg")
+    benchmark.pedantic(
+        lambda: list(FunctionalExecutor(program, length).run()),
+        rounds=3, iterations=1)

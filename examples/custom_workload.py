@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bring your own program: write µRISC assembly, simulate it clustered.
+
+Demonstrates the text assembler and the builder API on a dot-product
+kernel, then shows where its cycles go on the paper's 4-cluster machine
+with and without value prediction.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import make_config, simulate
+from repro.isa import FunctionalExecutor, ProgramBuilder, assemble
+
+DOT_PRODUCT = """
+# dot product of two 64-element vectors, repeated forever
+.data  a   1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+.data  b   2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2
+
+        li   r10, 0          # outer repetition counter
+        li   r11, 1000000
+outer:  la   r1, a
+        la   r2, b
+        li   r3, 0           # acc
+        li   r4, 0           # i
+        li   r5, 16
+inner:  lw   r6, r1, 0
+        lw   r7, r2, 0
+        mul  r8, r6, r7
+        add  r3, r3, r8
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r4, r4, 1
+        blt  r4, r5, inner
+        addi r10, r10, 1
+        blt  r10, r11, outer
+        halt
+"""
+
+
+def builder_version():
+    """The same kernel written with the ProgramBuilder API."""
+    b = ProgramBuilder()
+    vec_a = b.data("a", range(1, 17))
+    vec_b = b.data("b", [2] * 16)
+    b.emit("li", "r10", 0)
+    b.emit("li", "r11", 1_000_000)
+    b.label("outer")
+    b.emit("la", "r1", vec_a)
+    b.emit("la", "r2", vec_b)
+    b.emit("li", "r3", 0)
+    b.emit("li", "r4", 0)
+    b.emit("li", "r5", 16)
+    b.label("inner")
+    b.emit("lw", "r6", "r1", 0)
+    b.emit("lw", "r7", "r2", 0)
+    b.emit("mul", "r8", "r6", "r7")
+    b.emit("add", "r3", "r3", "r8")
+    b.emit("addi", "r1", "r1", 4)
+    b.emit("addi", "r2", "r2", 4)
+    b.emit("addi", "r4", "r4", 1)
+    b.emit("blt", "r4", "r5", "inner")
+    b.emit("addi", "r10", "r10", 1)
+    b.emit("blt", "r10", "r11", "outer")
+    b.emit("halt")
+    return b.build()
+
+
+def main() -> None:
+    program = assemble(DOT_PRODUCT)
+    trace = list(FunctionalExecutor(program, 10_000).run())
+    print(f"assembled {program.static_size} static instructions, "
+          f"traced {len(trace)} dynamic\n")
+
+    for label, config in (
+            ("1 cluster            ", make_config(1)),
+            ("4 clusters, no VP    ", make_config(4)),
+            ("4 clusters, VP + VPB ", make_config(4, predictor="stride",
+                                                  steering="vpb"))):
+        result = simulate(list(trace), config)
+        print(f"  {label}: IPC {result.ipc:5.2f}  "
+              f"comm/inst {result.comm_per_inst:.3f}  "
+              f"cycles {result.stats.cycles}")
+
+    # The builder API produces the identical program.
+    alt = builder_version()
+    alt_trace = list(FunctionalExecutor(alt, 10_000).run())
+    assert [d.op.name for d in alt_trace[:50]] == [
+        d.op.name for d in trace[:50]]
+    print("\nbuilder-API version generates the same instruction stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Sensitivity to wire delay: the Figure 4 experiment, in miniature (§4).
+
+Sweeps the inter-cluster communication latency (1/2/4 cycles) and the
+interconnect bandwidth (1 path per cluster vs unbounded) on 2- and
+4-cluster machines, with and without value prediction.
+
+Run:  python examples/wire_delay_sweep.py [trace_length]
+"""
+
+import sys
+
+from repro import make_config, simulate
+from repro.analysis import mean, table
+from repro.workloads import workload_trace
+
+WORKLOADS = ["cjpeg", "gsmdec", "mesaosdemo"]
+
+
+def average_ipc(n_clusters, predictor, steering, length, **overrides):
+    ipcs = []
+    for name in WORKLOADS:
+        trace = workload_trace(name, length)
+        config = make_config(n_clusters, predictor=predictor,
+                             steering=steering, **overrides)
+        ipcs.append(simulate(list(trace), config).ipc)
+    return mean(ipcs)
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    rows = []
+    for n_clusters in (2, 4):
+        for predictor, steering in (("none", "baseline"), ("stride", "vpb")):
+            label = (f"{n_clusters}c "
+                     + ("no-predict" if predictor == "none" else "predict"))
+            ipc_by_latency = [
+                average_ipc(n_clusters, predictor, steering, length,
+                            comm_latency=latency)
+                for latency in (1, 2, 4)]
+            degradation = (1 - ipc_by_latency[-1] / ipc_by_latency[0]) * 100
+            rows.append([label] + [f"{v:.2f}" for v in ipc_by_latency]
+                        + [f"{degradation:.0f}%"])
+    print(table(["config", "L=1", "L=2", "L=4", "loss"],
+                rows, "Figure 4(a) — IPC vs communication latency"))
+
+    rows = []
+    for n_clusters in (2, 4):
+        for predictor, steering in (("none", "baseline"), ("stride", "vpb")):
+            label = (f"{n_clusters}c "
+                     + ("no-predict" if predictor == "none" else "predict"))
+            limited = average_ipc(n_clusters, predictor, steering, length,
+                                  comm_paths_per_cluster=1)
+            unbounded = average_ipc(n_clusters, predictor, steering, length,
+                                    comm_paths_per_cluster=None)
+            rows.append([label, f"{limited:.2f}", f"{unbounded:.2f}",
+                         f"{(1 - limited / unbounded) * 100:.1f}%"])
+    print()
+    print(table(["config", "1 path/cluster", "unbounded", "loss"],
+                rows, "Figure 4(b) — IPC vs communication bandwidth"))
+    print("\nPaper's findings: latency hurts (17-20% from 1 to 4 cycles,")
+    print("less with prediction); a single path per cluster costs ~1%,")
+    print("so one register-file write port for remote values suffices.")
+
+
+if __name__ == "__main__":
+    main()

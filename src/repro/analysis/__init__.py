@@ -1,0 +1,43 @@
+"""Experiment drivers and reporting for every table/figure of the paper."""
+
+from .experiments import (AblationResult, Figure2Result, Figure3Result,
+                          Figure4Result, Figure5Result, HeadlineResult,
+                          run_ablation_free_copies,
+                          run_ablation_modified, run_ablation_predictor,
+                          run_ablation_rename2,
+                          run_figure2, run_figure3, run_figure4_bandwidth,
+                          run_figure4_latency, run_figure5, run_headline,
+                          run_ablation_static, run_one,
+                          run_predictor_comparison, run_robustness,
+                          run_scaling,
+                          ScalingResult, selected_workloads,
+                          simulate_cell, trace_length)
+from .export import (ablation_rows, figure2_rows, figure3_rows,
+                     figure4_rows, figure5_rows, headline_rows,
+                     scaling_rows, to_csv, to_json)
+from .metrics import ipcr, mean, pct_change, suite_mean
+from .report import (bar, format_ablation, format_figure2, format_figure3,
+                     format_figure4, format_figure5, format_headline, table)
+from .timeline import (TimelineProcessor, capture_timeline,
+                       pipeline_timeline, render_timeline)
+
+__all__ = [
+    "AblationResult", "Figure2Result", "Figure3Result", "Figure4Result",
+    "Figure5Result", "HeadlineResult",
+    "run_ablation_free_copies",
+    "run_ablation_modified", "run_ablation_predictor",
+    "run_ablation_rename2", "run_figure2",
+    "run_figure3", "run_figure4_bandwidth", "run_figure4_latency",
+    "run_figure5", "run_headline", "run_one",
+    "run_predictor_comparison", "run_ablation_static",
+    "run_scaling", "ScalingResult", "run_robustness",
+    "simulate_cell", "selected_workloads",
+    "trace_length",
+    "ipcr", "mean", "pct_change", "suite_mean",
+    "ablation_rows", "figure2_rows", "figure3_rows", "figure4_rows",
+    "figure5_rows", "headline_rows", "scaling_rows", "to_csv", "to_json",
+    "bar", "format_ablation", "format_figure2", "format_figure3",
+    "format_figure4", "format_figure5", "format_headline", "table",
+    "TimelineProcessor", "capture_timeline", "pipeline_timeline",
+    "render_timeline",
+]

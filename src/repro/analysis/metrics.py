@@ -1,0 +1,44 @@
+"""Aggregate metrics over benchmark suites.
+
+The paper's central metric is **IPCR_N** (§2.4): the IPC of the
+N-cluster machine divided by the IPC of the 1-cluster machine running
+the same binary with the same predictor.  "It indicates the IPC
+degradation caused by inter-cluster communication delays ... its
+maximum value is 1."  Averages over the suite are arithmetic means of
+the per-benchmark values, which is how the paper reports them
+("IPCR4 increases by 14%, from 0.65 to 0.74").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["ipcr", "mean", "pct_change", "suite_mean"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def ipcr(clustered_ipc: float, centralized_ipc: float) -> float:
+    """The normalized N-clusters IPC ratio of §2.4."""
+    if centralized_ipc <= 0:
+        return 0.0
+    return clustered_ipc / centralized_ipc
+
+
+def pct_change(before: float, after: float) -> float:
+    """Relative change in percent (positive = improvement)."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before * 100.0
+
+
+def suite_mean(per_benchmark: Mapping[str, float],
+               subset: Sequence[str] = None) -> float:
+    """Mean of a per-benchmark metric, optionally over a subset."""
+    if subset is None:
+        return mean(per_benchmark.values())
+    return mean(per_benchmark[name] for name in subset)

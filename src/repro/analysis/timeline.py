@@ -1,0 +1,141 @@
+"""Pipeline timeline capture and rendering.
+
+Records, for a window of the dynamic stream, the cycle each instruction
+passed every pipeline stage — fetch, dispatch (decode/rename/steer),
+issue, writeback, retire — and renders the classic pipeline diagram.
+Reissues after value mispredictions show up as extra issue marks, and
+copies/verification-copies appear as their own rows, which makes the
+mechanics of §2.1/§2.2 directly visible:
+
+    seq  cl op       F--D--I==W-----R
+    ...
+
+Stage letters: F fetch, D dispatch, I issue (lower-case ``i`` for a
+reissue), W writeback/complete, R retire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.config import ProcessorConfig
+from ..core.processor import Processor
+from ..isa.instruction import DynInst
+
+__all__ = ["TimelineProcessor", "capture_timeline", "render_timeline",
+           "pipeline_timeline"]
+
+
+class TimelineProcessor(Processor):
+    """A Processor that records per-uop stage timestamps.
+
+    ``timeline`` maps uop order -> event dict with keys ``fetch``,
+    ``dispatch``, ``issues`` (list), ``complete``, ``commit``, plus
+    identification (``kind``, ``op``, ``seq``, ``pc``, ``cluster``).
+    """
+
+    def __init__(self, config: ProcessorConfig, trace) -> None:
+        super().__init__(config, trace)
+        self.timeline: Dict[int, dict] = {}
+
+    def _dispatch(self, fetched, cluster_id, plan, cycle):
+        first_order = self._next_order
+        super()._dispatch(fetched, cluster_id, plan, cycle)
+        # The uops just appended (instruction + helpers) are the ROB tail.
+        count = self._next_order - first_order
+        for uop in list(self.rob)[-count:]:
+            self.timeline[uop.order] = {
+                "kind": uop.kind_name(),
+                "op": uop.dyn.op.name if uop.dyn is not None else "?",
+                "seq": uop.dyn.seq if uop.dyn is not None else None,
+                "pc": uop.dyn.pc if uop.dyn is not None else None,
+                "cluster": uop.cluster,
+                "fetch": fetched.fetch_cycle,
+                "dispatch": cycle,
+                "issues": [],
+                "complete": None,
+                "commit": None,
+            }
+
+    def _mark_issued(self, uop, cycle):
+        super()._mark_issued(uop, cycle)
+        entry = self.timeline.get(uop.order)
+        if entry is not None:
+            entry["issues"].append(cycle)
+
+    def _complete(self, uop, cycle):
+        super()._complete(uop, cycle)
+        entry = self.timeline.get(uop.order)
+        if entry is not None and uop.complete_cycle == cycle:
+            entry["complete"] = cycle
+
+    def _commit(self, cycle):
+        before = {uop.order for uop in self.rob}
+        retired = super()._commit(cycle)
+        if retired:
+            after = {uop.order for uop in self.rob}
+            for order in before - after:
+                entry = self.timeline.get(order)
+                if entry is not None:
+                    entry["commit"] = cycle
+        return retired
+
+
+def capture_timeline(trace: Iterable[DynInst], config: ProcessorConfig,
+                     max_cycles: Optional[int] = None) -> Dict[int, dict]:
+    """Run *trace* and return the recorded per-uop timeline."""
+    processor = TimelineProcessor(config, iter(list(trace)))
+    processor.run(max_cycles=max_cycles)
+    return processor.timeline
+
+
+def render_timeline(timeline: Dict[int, dict], first_seq: int = 0,
+                    count: int = 24, max_width: int = 64) -> str:
+    """Render a window of the timeline as a pipeline diagram."""
+    rows: List[dict] = [entry for order, entry in sorted(timeline.items())
+                        if entry["seq"] is None
+                        or first_seq <= entry["seq"] < first_seq + count]
+    rows = [entry for entry in rows
+            if entry["seq"] is not None or _helper_in_window(
+                entry, first_seq, count)]
+    if not rows:
+        return "(empty timeline window)"
+    base = min(entry["fetch"] for entry in rows)
+    lines = []
+    for entry in rows:
+        marks: Dict[int, str] = {}
+        def put(cycle, letter):
+            if cycle is None:
+                return
+            column = cycle - base
+            if 0 <= column < max_width and column not in marks:
+                marks[column] = letter
+        put(entry["fetch"], "F")
+        put(entry["dispatch"], "D")
+        for index, cycle in enumerate(entry["issues"]):
+            put(cycle, "I" if index == 0 else "i")
+        put(entry["complete"], "W")
+        put(entry["commit"], "R")
+        track = "".join(marks.get(i, ".")
+                        for i in range(max(marks, default=0) + 1))
+        seq = entry["seq"] if entry["seq"] is not None else "-"
+        label = (entry["op"] if entry["kind"] == "inst"
+                 else f"[{entry['kind']}]")
+        lines.append(f"{str(seq):>5} c{entry['cluster']} "
+                     f"{label:<8} {track}")
+    header = (f"{'seq':>5} cl {'op':<8} cycles from {base} "
+              f"(F fetch, D dispatch, I/i issue, W writeback, R retire)")
+    return header + "\n" + "\n".join(lines)
+
+
+def _helper_in_window(entry: dict, first_seq: int, count: int) -> bool:
+    # Copies carry their consumer's DynInst, so seq is never None in
+    # practice; keep helpers whose consumer lies in the window.
+    return True
+
+
+def pipeline_timeline(trace, config: ProcessorConfig, first_seq: int = 0,
+                      count: int = 24) -> str:
+    """One-call convenience: capture and render a pipeline diagram."""
+    timeline = capture_timeline(trace, config)
+    return render_timeline(timeline, first_seq, count)

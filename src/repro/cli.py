@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-workloads`` — the Table 2 stand-in suite.
+* ``simulate`` — one (workload, configuration) run with a summary.
+* ``figure2`` / ``figure3`` / ``figure4a`` / ``figure4b`` / ``figure5``
+  — regenerate one paper figure as an ASCII report.
+* ``headline`` — the §6 paper-vs-measured summary table.
+* ``ablations`` — the §3.2/§3.3 side experiments plus this repo's own
+  predictor and free-copy ablations.
+
+Every figure command honours ``--workloads`` and ``--length`` (and the
+``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN`` environment variables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis
+from .core import make_config, simulate
+from .workloads import SUITE, workload_names, workload_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Reducing Wire Delay Penalty "
+                    "through Value Prediction' (MICRO-33, 2000).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show the Table 2 suite")
+
+    sim = sub.add_parser("simulate", help="run one configuration")
+    sim.add_argument("workload", choices=workload_names())
+    sim.add_argument("--clusters", type=int, default=4, choices=(1, 2, 4))
+    sim.add_argument("--predictor", default="none",
+                     choices=("none", "stride", "context", "hybrid",
+                              "perfect"))
+    sim.add_argument("--steering", default="baseline",
+                     choices=("baseline", "modified", "vpb", "round-robin",
+                              "balance-only", "dependence-only"))
+    sim.add_argument("--length", type=int, default=12_000,
+                     help="dynamic instructions to simulate")
+    sim.add_argument("--comm-latency", type=int, default=1)
+    sim.add_argument("--paths", type=int, default=None,
+                     help="interconnect paths per cluster (default: "
+                          "unbounded)")
+
+    for name, help_text in (
+            ("figure2", "IPC of 1/2/4 clusters, +/- value prediction"),
+            ("figure3", "Baseline/VPB x prediction comparison"),
+            ("figure4a", "IPC vs communication latency"),
+            ("figure4b", "IPC vs communication bandwidth"),
+            ("figure5", "IPC/accuracy vs predictor table size"),
+            ("headline", "paper-vs-measured summary"),
+            ("ablations", "Modified scheme, 2-cycle rename, predictor "
+                          "and free-copy ablations")):
+        fig = sub.add_parser(name, help=help_text)
+        fig.add_argument("--workloads", default=None,
+                         help="comma-separated suite subset")
+        fig.add_argument("--length", type=int, default=None,
+                         help="dynamic instructions per benchmark")
+    return parser
+
+
+def _subset(args) -> Optional[List[str]]:
+    if args.workloads is None:
+        return None
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {unknown}; "
+                         f"choose from {workload_names()}")
+    return names
+
+
+def _cmd_list_workloads() -> None:
+    rows = [[spec.name, spec.category, f"{spec.paper_minsts:.1f}"]
+            for spec in SUITE.values()]
+    print(analysis.table(["name", "category", "paper Minst"], rows,
+                         "Table 2 — Mediabench stand-in suite"))
+
+
+def _cmd_simulate(args) -> None:
+    trace = workload_trace(args.workload, args.length)
+    config = make_config(args.clusters, predictor=args.predictor,
+                         steering=args.steering,
+                         comm_latency=args.comm_latency,
+                         comm_paths_per_cluster=args.paths)
+    result = simulate(list(trace), config)
+    print(result.summary())
+
+
+def _cmd_figure(args) -> None:
+    subset, length = _subset(args), args.length
+    if args.command == "figure2":
+        print(analysis.format_figure2(
+            analysis.run_figure2(subset, length)))
+    elif args.command == "figure3":
+        print(analysis.format_figure3(
+            analysis.run_figure3(subset, length)))
+    elif args.command == "figure4a":
+        print(analysis.format_figure4(
+            analysis.run_figure4_latency(subset, length), "a"))
+    elif args.command == "figure4b":
+        print(analysis.format_figure4(
+            analysis.run_figure4_bandwidth(subset, length), "b"))
+    elif args.command == "figure5":
+        print(analysis.format_figure5(
+            analysis.run_figure5(subset, length)))
+    elif args.command == "headline":
+        print(analysis.format_headline(
+            analysis.run_headline(subset, length)))
+    else:  # ablations
+        print(analysis.format_ablation(
+            analysis.run_ablation_modified(subset, length),
+            "Section 3.2 — ungated Modified scheme (4 clusters)"))
+        print()
+        print(analysis.format_ablation(
+            analysis.run_ablation_rename2(subset, length),
+            "Section 3.3 — 2-cycle rename/steer (4 clusters, VPB)"))
+        print()
+        print(analysis.format_ablation(
+            analysis.run_ablation_predictor(subset, length),
+            "Stride update discipline (4 clusters, VPB)"))
+        print()
+        print(analysis.format_ablation(
+            analysis.run_ablation_free_copies(subset, length),
+            "Section 2.1 extension — free copy issue (4 clusters)"))
+        print()
+        print(analysis.format_ablation(
+            analysis.run_ablation_static(subset, length),
+            "Static vs dynamic partitioning (4 clusters)"))
+        print()
+        print(analysis.format_ablation(
+            analysis.run_predictor_comparison(subset, length),
+            "Value predictor families (4 clusters, VPB)"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        _cmd_list_workloads()
+    elif args.command == "simulate":
+        _cmd_simulate(args)
+    else:
+        _cmd_figure(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Cluster substrate: issue queues, register files, functional units."""
+
+from .cluster import Cluster
+from .functional_unit import DEFAULT_LATENCIES, FUPool
+from .issue_queue import IssueQueue
+from .register_file import NEVER, RegisterFile
+
+__all__ = ["Cluster", "DEFAULT_LATENCIES", "FUPool", "IssueQueue",
+           "NEVER", "RegisterFile"]

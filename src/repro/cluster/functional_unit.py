@@ -1,0 +1,175 @@
+"""Functional-unit pools and per-cycle issue resources of one cluster.
+
+Table 1 describes each configuration's pools: e.g. the 4-cluster machine
+has, per cluster, "2 int (1 include mul/div), 1 fp (includes fp mul/div)"
+and an issue width of "2 int / 1 fp".  This module enforces, per cycle:
+
+* the integer and fp **issue widths**,
+* the number of **units** of each side,
+* the subset of units capable of multiply/divide,
+* non-pipelined divides, which occupy their unit for the full latency.
+
+Copy and verification-copy instructions consume issue width (§2 Table 1:
+"Communications consume issue width and instruction queue entries") but
+no functional unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.opcodes import OpClass
+
+__all__ = ["FUPool", "DEFAULT_LATENCIES"]
+
+#: Execution latencies per operation class (SimpleScalar-style defaults).
+#: LOAD's entry is the address-generation cycle; cache latency is added
+#: by the core.  STORE only generates its address in the back end.
+DEFAULT_LATENCIES: Dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 20,
+    OpClass.FALU: 2,
+    OpClass.FMUL: 4,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+}
+
+_INT_SIDE = frozenset({OpClass.IALU, OpClass.IMUL, OpClass.IDIV,
+                       OpClass.LOAD, OpClass.STORE})
+
+
+class FUPool:
+    """Issue-resource tracker for one cluster.
+
+    Call :meth:`begin_cycle` once per cycle, then :meth:`try_issue` for
+    each candidate; ``try_issue`` reserves the resources on success.
+    """
+
+    def __init__(self, int_units: int, int_muldiv: int,
+                 fp_units: int, fp_muldiv: int,
+                 int_width: int, fp_width: int,
+                 latencies: Dict[OpClass, int] = None) -> None:
+        if int_muldiv > int_units or fp_muldiv > fp_units:
+            raise ValueError("mul/div-capable units cannot exceed the pool")
+        self.int_units = int_units
+        self.int_muldiv = int_muldiv
+        self.fp_units = fp_units
+        self.fp_muldiv = fp_muldiv
+        self.int_width = int_width
+        self.fp_width = fp_width
+        self.latencies = dict(DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+        # Non-pipelined divides occupy one mul/div-capable unit each.
+        self._idiv_busy: List[int] = [0] * int_muldiv
+        self._fdiv_busy: List[int] = [0] * fp_muldiv
+        self._cycle = -1
+        self._int_issued = 0
+        self._fp_issued = 0
+        self._int_units_used = 0
+        self._fp_units_used = 0
+        self._imuldiv_used = 0
+        self._fmuldiv_used = 0
+
+    # -- per-cycle bookkeeping ---------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset the per-cycle counters."""
+        self._cycle = cycle
+        self._int_issued = 0
+        self._fp_issued = 0
+        self._int_units_used = 0
+        self._fp_units_used = 0
+        self._imuldiv_used = 0
+        self._fmuldiv_used = 0
+
+    def _busy_divs(self, busy: List[int]) -> int:
+        cycle = self._cycle
+        return sum(1 for until in busy if until > cycle)
+
+    # -- queries -----------------------------------------------------------------
+
+    def latency(self, opclass: OpClass) -> int:
+        """Execution latency of *opclass* (loads exclude cache time)."""
+        return self.latencies[opclass]
+
+    def int_width_left(self) -> int:
+        """Unused integer issue slots this cycle."""
+        return self.int_width - self._int_issued
+
+    def fp_width_left(self) -> int:
+        """Unused fp issue slots this cycle."""
+        return self.fp_width - self._fp_issued
+
+    def idle_capacity(self, int_side: bool) -> int:
+        """Additional instructions of that side this cluster could issue.
+
+        Used by the NREADY imbalance meter: idle capacity is bounded by
+        both the remaining issue width and the remaining units.
+        """
+        if int_side:
+            units_left = (self.int_units - self._busy_divs(self._idiv_busy)
+                          - self._int_units_used)
+            return max(0, min(self.int_width_left(), units_left))
+        units_left = (self.fp_units - self._busy_divs(self._fdiv_busy)
+                      - self._fp_units_used)
+        return max(0, min(self.fp_width_left(), units_left))
+
+    # -- issue -------------------------------------------------------------------
+
+    def try_issue(self, opclass: OpClass) -> bool:
+        """Reserve width + unit for one instruction; True on success."""
+        if opclass in _INT_SIDE:
+            if self._int_issued >= self.int_width:
+                return False
+            busy = self._busy_divs(self._idiv_busy)
+            if self._int_units_used >= self.int_units - busy:
+                return False
+            if opclass in (OpClass.IMUL, OpClass.IDIV):
+                if self._imuldiv_used >= self.int_muldiv - busy:
+                    return False
+                self._imuldiv_used += 1
+                if opclass is OpClass.IDIV:
+                    self._claim_div(self._idiv_busy,
+                                    self.latencies[OpClass.IDIV])
+            self._int_issued += 1
+            self._int_units_used += 1
+            return True
+        # fp side
+        if self._fp_issued >= self.fp_width:
+            return False
+        busy = self._busy_divs(self._fdiv_busy)
+        if self._fp_units_used >= self.fp_units - busy:
+            return False
+        if opclass in (OpClass.FMUL, OpClass.FDIV):
+            if self._fmuldiv_used >= self.fp_muldiv - busy:
+                return False
+            self._fmuldiv_used += 1
+            if opclass is OpClass.FDIV:
+                self._claim_div(self._fdiv_busy, self.latencies[OpClass.FDIV])
+        self._fp_issued += 1
+        self._fp_units_used += 1
+        return True
+
+    def try_issue_copy(self, fp_side: bool) -> bool:
+        """Reserve issue width (only) for a copy/verification-copy."""
+        if fp_side:
+            if self._fp_issued >= self.fp_width:
+                return False
+            self._fp_issued += 1
+            return True
+        if self._int_issued >= self.int_width:
+            return False
+        self._int_issued += 1
+        return True
+
+    def _claim_div(self, busy: List[int], latency: int) -> None:
+        cycle = self._cycle
+        for i, until in enumerate(busy):
+            if until <= cycle:
+                busy[i] = cycle + latency
+                return
+        raise RuntimeError("divide issued with no free unit "
+                           "(try_issue accounting bug)")

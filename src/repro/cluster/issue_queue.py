@@ -1,0 +1,61 @@
+"""Per-cluster instruction (issue) queues.
+
+Each cluster has separate integer and floating-point queues ("instruction
+queues (separate integer and FP)", §2.4).  Entries are allocated at
+dispatch and released at issue.  A value-misspeculated instruction that
+must reissue re-enters the queue *in age order*; re-entry is allowed to
+exceed the capacity momentarily, modelling the paper's "the mechanism is
+in fact the existing issue mechanism, and therefore we have assumed no
+additional penalty for each instruction restart" (§2.2).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator, List
+
+__all__ = ["IssueQueue"]
+
+
+class IssueQueue:
+    """An age-ordered queue of in-flight uops."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("issue queue capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        """True when a freshly decoded uop may be dispatched here."""
+        return len(self._entries) < self.capacity
+
+    def space_left(self) -> int:
+        """Free entries for new dispatches."""
+        return max(0, self.capacity - len(self._entries))
+
+    def dispatch(self, uop) -> None:
+        """Insert a freshly decoded uop (dispatch order == age order)."""
+        self._entries.append(uop)
+
+    def reinsert(self, uop) -> None:
+        """Re-enter an invalidated uop at its age position."""
+        insort(self._entries, uop, key=lambda u: u.order)
+
+    def remove(self, uop) -> None:
+        """Release the entry of a uop that just issued."""
+        self._entries.remove(uop)
+
+    def remove_many(self, uops) -> None:
+        """Release several issued uops at once (end of the issue scan)."""
+        if not uops:
+            return
+        issued = set(id(u) for u in uops)
+        self._entries = [u for u in self._entries if id(u) not in issued]

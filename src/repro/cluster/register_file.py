@@ -1,0 +1,52 @@
+"""Per-cluster physical register file scoreboard.
+
+Timing-only: each physical register tracks the cycle at which its value
+becomes usable by instructions issuing in this cluster (local bypasses
+are folded into the ready cycle: a producer issuing at cycle *c* with
+latency *l* marks its destination ready at ``c + l``, which lets a local
+dependent issue back-to-back).  ``producer`` links each pending register
+to the uop that will write it, which steering (rule 2.1) and the
+invalidation walk both need.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["RegisterFile", "NEVER"]
+
+#: Sentinel ready-cycle for "no value scheduled yet".
+NEVER = 1 << 60
+
+
+class RegisterFile:
+    """Ready-time scoreboard over ``n_pregs`` physical registers."""
+
+    def __init__(self, n_pregs: int) -> None:
+        if n_pregs <= 0:
+            raise ValueError("register file size must be positive")
+        self.n_pregs = n_pregs
+        self.ready: List[int] = [NEVER] * n_pregs
+        self.producer: List[Optional[object]] = [None] * n_pregs
+
+    def set_ready(self, preg: int, cycle: int) -> None:
+        """Value of *preg* becomes usable at *cycle*."""
+        self.ready[preg] = cycle
+
+    def set_pending(self, preg: int, producer) -> None:
+        """*preg* is allocated but its value is still being produced."""
+        self.ready[preg] = NEVER
+        self.producer[preg] = producer
+
+    def is_ready(self, preg: int, cycle: int) -> bool:
+        """True when *preg* can feed an instruction issuing at *cycle*."""
+        return self.ready[preg] <= cycle
+
+    def ready_cycle(self, preg: int) -> int:
+        """Scheduled ready cycle (``NEVER`` when unscheduled)."""
+        return self.ready[preg]
+
+    def clear(self, preg: int) -> None:
+        """Reset scoreboard state when the register is freed."""
+        self.ready[preg] = NEVER
+        self.producer[preg] = None

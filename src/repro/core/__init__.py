@@ -1,0 +1,11 @@
+"""The clustered out-of-order timing core and its public API."""
+
+from .config import (CLUSTER_PRESETS, ProcessorConfig, derive_preset,
+                     make_config)
+from .processor import Processor
+from .simulator import run_trace, simulate
+from .stats import SimResult, SimStats
+
+__all__ = ["CLUSTER_PRESETS", "ProcessorConfig", "derive_preset",
+           "make_config", "Processor",
+           "run_trace", "simulate", "SimResult", "SimStats"]

@@ -1,0 +1,872 @@
+"""The cycle-level clustered out-of-order processor (§2 of the paper).
+
+Six stages — fetch, decode/rename/steer, issue, execute, writeback,
+commit — over N homogeneous clusters.  Per cycle, in order:
+
+1. **writeback events**: scheduled completions, producer-side value
+   verification, verification-copy mismatch deliveries;
+2. **commit**: in-order retirement (stores take a D-cache port; the
+   previous mapping set of each destination register is released);
+3. **issue**: per cluster and per side (int/fp), oldest-first among
+   ready uops within the issue widths, functional units, D-cache ports
+   and interconnect paths; the NREADY imbalance figure is measured here;
+4. **decode/rename/steer**: value-predictor lookup+update, steering,
+   map-table rename with demand-generated copies and verification-
+   copies, dispatch into the issue queues and the ROB;
+5. **fetch**: the front end refills the fetch buffer.
+
+Speculation follows §2.2: confident predicted operands dispatch
+speculatively; the producer verifies local predictions one cycle after
+its writeback; verification-copies verify remote predictions in the
+producer's cluster and forward the value only on mismatch; failures
+selectively invalidate and reissue the consumer and, transitively,
+everything that used its result, through the normal issue mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import Cluster, FUPool, NEVER
+from ..errors import SimulationError
+from ..frontend import (BranchTargetBuffer, CombinedPredictor,
+                        FetchEngine, FetchedInst)
+from ..interconnect import Interconnect
+from ..isa.instruction import DynInst
+from ..isa.registers import NUM_LOGICAL_REGS, ZERO_REG, is_fp_reg
+from ..memory import MemoryHierarchy
+from ..predictor import (ContextPredictor, HybridPredictor, NullPredictor,
+                         PerfectPredictor, StridePredictor, ValuePredictor)
+from ..rename import RenameUnit
+from ..steering import (BalanceOnlySteerer, BaselineSteerer, DCountTracker,
+                        DependenceOnlySteerer, ModifiedSteerer, NReadyMeter,
+                        RoundRobinSteerer, SourceView, StaticSteerer,
+                        VPBSteerer)
+from .config import ProcessorConfig
+from .stats import SimResult, SimStats
+from .uop import (KIND_COPY, KIND_INST, KIND_VCOPY, MODE_FWD, MODE_LOCAL,
+                  MODE_PRED, MODE_ZERO, Operand, STATE_COMMITTED, STATE_DONE,
+                  STATE_ISSUED, STATE_WAITING, Uop)
+
+__all__ = ["Processor"]
+
+_EV_COMPLETE = 0
+_EV_VERIFY = 1
+_EV_VDELIVER = 2
+
+
+def _build_steerer(config: ProcessorConfig):
+    name = config.steering
+    n = config.n_clusters
+    if name == "baseline":
+        return BaselineSteerer(n, config.balance_threshold)
+    if name == "modified":
+        return ModifiedSteerer(n, config.balance_threshold)
+    if name == "vpb":
+        return VPBSteerer(n, config.balance_threshold, config.vpb_threshold)
+    if name == "round-robin":
+        return RoundRobinSteerer(n)
+    if name == "balance-only":
+        return BalanceOnlySteerer(n)
+    if name == "dependence-only":
+        return DependenceOnlySteerer(n)
+    if name == "static":
+        return StaticSteerer(n, config.static_assignment)
+    raise ValueError(f"unknown steering scheme {name!r}")
+
+
+def _build_predictor(config: ProcessorConfig) -> ValuePredictor:
+    if config.predictor == "none":
+        return NullPredictor()
+    if config.predictor == "stride":
+        return StridePredictor(config.vp_entries,
+                               config.vp_confidence_threshold,
+                               two_delta=config.vp_two_delta)
+    if config.predictor == "context":
+        return ContextPredictor(
+            l2_entries=config.vp_entries,
+            confidence_threshold=config.vp_confidence_threshold)
+    if config.predictor == "hybrid":
+        return HybridPredictor(stride_entries=config.vp_entries)
+    if config.predictor == "perfect":
+        return PerfectPredictor()
+    raise ValueError(f"unknown predictor {config.predictor!r}")
+
+
+class Processor:
+    """One simulation instance: a config plus a dynamic trace to replay."""
+
+    def __init__(self, config: ProcessorConfig, trace) -> None:
+        config.validate()
+        self.config = config
+        self.stats = SimStats()
+        self.stats.dispatch_per_cluster = [0] * config.n_clusters
+        self.stats.issued_per_cluster = [0] * config.n_clusters
+        self.stats.iq_occupancy_sum = [0] * config.n_clusters
+        self.memory = MemoryHierarchy(dcache_ports=config.dcache_ports)
+        self.bpred = CombinedPredictor()
+        self.btb = (BranchTargetBuffer(config.btb_entries)
+                    if config.btb_entries else None)
+        self.fetch = FetchEngine(trace, self.memory.fetch_latency,
+                                 self.bpred, width=config.fetch_width,
+                                 buffer_capacity=config.fetch_buffer,
+                                 btb=self.btb)
+        self.clusters: List[Cluster] = [
+            Cluster(c, config.iq_size, 2 * config.pregs_per_cluster,
+                    FUPool(config.int_units, config.int_muldiv,
+                           config.fp_units, config.fp_muldiv,
+                           config.int_issue_width, config.fp_issue_width,
+                           config.latencies))
+            for c in range(config.n_clusters)]
+        self.renamer = RenameUnit(NUM_LOGICAL_REGS, config.n_clusters,
+                                  config.pregs_per_cluster)
+        for _, cluster, preg in self.renamer.initial_mappings():
+            self.clusters[cluster].regfile.set_ready(preg, 0)
+        self.interconnect = Interconnect(config.n_clusters,
+                                         config.comm_latency,
+                                         config.comm_paths_per_cluster)
+        self.vp = _build_predictor(config)
+        self._vp_enabled = config.predictor != "none"
+        # The perfect predictor is the paper's idealized upper bound
+        # (§3.3): predictions are free and always right, so no
+        # verification-copies are dispatched and no verification latency
+        # is charged — the study isolates what communication removal
+        # alone could buy.
+        self._oracle = config.predictor == "perfect"
+        self.steerer = _build_steerer(config)
+        self.dcount = DCountTracker(config.n_clusters)
+        self.nready = NReadyMeter(config.n_clusters)
+        self.rob: deque = deque()
+        self._events: Dict[int, List[tuple]] = {}
+        self._next_order = 0
+        self._vp_cache: Dict[int, list] = {}
+        # Memory disambiguation: decoded stores whose address generation
+        # has not issued yet, and issued-but-uncommitted stores by address.
+        self._pending_store_addrs: set = set()
+        self._inflight_stores: Dict[int, List[Uop]] = {}
+        # Stores that have generated their address but still await their
+        # data value (the store-queue data side).
+        self._stores_awaiting_data: List[Uop] = []
+        self._dports_used = 0
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Simulate until the trace drains; returns the result bundle."""
+        last_commit_cycle = 0
+        while not (self.fetch.done and not self.rob):
+            cycle = self.cycle
+            if max_cycles is not None and cycle >= max_cycles:
+                break
+            self._dports_used = 0
+            for cluster in self.clusters:
+                cluster.fupool.begin_cycle(cycle)
+            self._process_events(cycle)
+            self._drain_store_data(cycle)
+            if self._commit(cycle):
+                last_commit_cycle = cycle
+            elif cycle - last_commit_cycle > self.config.deadlock_cycles:
+                raise SimulationError(
+                    f"no commit for {self.config.deadlock_cycles} cycles at "
+                    f"cycle {cycle}; ROB head: "
+                    f"{self.rob[0] if self.rob else None}")
+            self._issue(cycle)
+            self._decode(cycle)
+            self.fetch.tick(cycle)
+            if cycle and cycle % 8192 == 0:
+                self.interconnect.prune(cycle)
+            self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.stats.avg_imbalance = self.nready.average
+        self.stats.cond_branches = self.bpred.stats.lookups
+        self.stats.branch_mispredictions = self.bpred.stats.mispredictions
+        vp_stats = {
+            "lookups": self.vp.stats.lookups,
+            "confident": self.vp.stats.confident,
+            "confident_fraction": self.vp.stats.confident_fraction,
+            "hit_ratio": self.vp.stats.hit_ratio,
+        }
+        bp_stats = {
+            "lookups": self.bpred.stats.lookups,
+            "mispredictions": self.bpred.stats.mispredictions,
+            "accuracy": self.bpred.stats.accuracy,
+        }
+        if self.btb is not None:
+            bp_stats["btb_miss_rate"] = self.btb.miss_rate
+        return SimResult(self.stats, self.config, self.memory.stats(),
+                         vp_stats, bp_stats)
+
+    def describe_state(self) -> str:
+        """One-line-per-structure snapshot for debugging stuck runs."""
+        lines = [f"cycle {self.cycle}: ROB {len(self.rob)}"
+                 f"/{self.config.rob_size}, "
+                 f"fetch {'done' if self.fetch.done else 'active'}"]
+        for cluster in self.clusters:
+            lines.append(
+                f"  cluster {cluster.cluster_id}: "
+                f"iq_int {len(cluster.iq_int)}/{cluster.iq_int.capacity} "
+                f"iq_fp {len(cluster.iq_fp)}/{cluster.iq_fp.capacity} "
+                f"dcount {self.dcount.counters[cluster.cluster_id]}")
+        if self.rob:
+            head = self.rob[0]
+            lines.append(f"  ROB head: {head!r} unverified={head.unverified}"
+                         f" min_issue={head.min_issue_cycle}")
+        lines.append(f"  pending store addrs: "
+                     f"{len(self._pending_store_addrs)}, "
+                     f"stores awaiting data: "
+                     f"{len(self._stores_awaiting_data)}")
+        return "\n".join(lines)
+
+    # ----------------------------------------------------------- writeback --
+
+    def _schedule(self, cycle: int, event: tuple) -> None:
+        self._events.setdefault(cycle, []).append(event)
+
+    def _process_events(self, cycle: int) -> None:
+        events = self._events.pop(cycle, None)
+        if not events:
+            return
+        for event in events:
+            kind, uop, generation = event
+            if uop.generation != generation:
+                continue  # stale: the uop was invalidated and will redo
+            if kind == _EV_COMPLETE:
+                self._complete(uop, cycle)
+            elif kind == _EV_VERIFY:
+                self._run_verifications(uop, cycle)
+            else:  # _EV_VDELIVER
+                self._deliver_mismatch(uop, cycle)
+
+    def _complete(self, uop: Uop, cycle: int) -> None:
+        if uop.state != STATE_ISSUED:
+            return
+        uop.state = STATE_DONE
+        uop.complete_cycle = cycle
+        if uop.kind == KIND_VCOPY:
+            operand = uop.consumer_operand
+            if operand.correct and not operand.verified:
+                operand.verified = True
+                uop.consumer.unverified -= 1
+            return
+        if uop.verify_list:
+            self._schedule(cycle + 1, (_EV_VERIFY, uop, uop.generation))
+        if (uop.kind == KIND_INST and uop.mispredicted_branch):
+            self.fetch.branch_resolved(uop.dyn.seq, cycle)
+
+    def _run_verifications(self, producer: Uop, cycle: int) -> None:
+        """Producer-side verification, one cycle after writeback (§2.2)."""
+        pending = producer.verify_list
+        producer.verify_list = []
+        for consumer, operand in pending:
+            if operand.verified:
+                continue
+            operand.verified = True
+            consumer.unverified -= 1
+            if operand.correct:
+                continue
+            # Misprediction: the correct value sits in the local physical
+            # register (ready at the producer's completion); the consumer
+            # reverts to a normal register read and reissues.
+            operand.mode = MODE_LOCAL
+            if consumer.state != STATE_WAITING:
+                self._invalidate(consumer, cycle)
+
+    def _deliver_mismatch(self, vcopy: Uop, cycle: int) -> None:
+        """A verification-copy's mismatch forward arrives at the consumer.
+
+        If the operand is already verified, a previous generation of
+        this vcopy (invalidated and replayed after its source producer
+        reissued) has already delivered the same final value — the
+        replayed forward changes nothing and the consumer may even have
+        committed meanwhile.
+        """
+        consumer = vcopy.consumer
+        operand = vcopy.consumer_operand
+        if operand.verified:
+            return
+        operand.mode = MODE_FWD
+        operand.ready_override = cycle
+        operand.verified = True
+        consumer.unverified -= 1
+        if consumer.state != STATE_WAITING:
+            self._invalidate(consumer, cycle)
+
+    # --------------------------------------------------------- invalidation --
+
+    def _invalidate(self, start: Uop, cycle: int) -> None:
+        """Selective invalidation + reissue of a dependence cone (§2.2)."""
+        stack = [start]
+        while stack:
+            uop = stack.pop()
+            if uop.state == STATE_WAITING:
+                continue
+            if uop.state == STATE_COMMITTED:
+                raise SimulationError(
+                    f"attempted to invalidate committed uop {uop!r}")
+            uop.generation += 1
+            uop.state = STATE_WAITING
+            uop.complete_cycle = None
+            uop.issue_cycle = None
+            if cycle > uop.min_issue_cycle:
+                uop.min_issue_cycle = cycle
+            uop.reissue_count += 1
+            self.stats.invalidations += 1
+            if uop.dest_preg is not None:
+                regfile = self.clusters[uop.dest_cluster].regfile
+                regfile.set_pending(uop.dest_preg, uop)
+            if uop.is_store:
+                self._pending_store_addrs.add(uop.dyn.seq)
+                stores = self._inflight_stores.get(uop.dyn.mem_addr)
+                if stores and uop in stores:
+                    stores.remove(uop)
+            self.clusters[uop.cluster].iq_for(uop.int_side).reinsert(uop)
+            readers = uop.readers
+            uop.readers = []
+            stack.extend(readers)
+
+    # ---------------------------------------------------------------- commit --
+
+    def _commit(self, cycle: int) -> int:
+        rob = self.rob
+        retired = 0
+        budget = self.config.retire_width
+        while rob and retired < budget:
+            uop = rob[0]
+            if (uop.state != STATE_DONE or uop.unverified > 0
+                    or uop.complete_cycle >= cycle):
+                break
+            if uop.is_store:
+                if self._dports_used >= self.config.dcache_ports:
+                    break
+                self._dports_used += 1
+                self.memory.data_latency(uop.dyn.mem_addr, is_write=True)
+                stores = self._inflight_stores.get(uop.dyn.mem_addr)
+                if stores and uop in stores:
+                    stores.remove(uop)
+            rob.popleft()
+            uop.state = STATE_COMMITTED
+            retired += 1
+            if uop.free_on_commit:
+                self.renamer.release(uop.free_on_commit)
+                for fcluster, fpreg in uop.free_on_commit:
+                    self.clusters[fcluster].regfile.clear(fpreg)
+            if uop.dest_preg is not None:
+                self.clusters[uop.dest_cluster].regfile.producer[
+                    uop.dest_preg] = None
+            uop.readers = []
+            if uop.kind == KIND_INST:
+                self.stats.committed_insts += 1
+            elif uop.kind == KIND_COPY:
+                self.stats.committed_copies += 1
+            else:
+                self.stats.committed_vcopies += 1
+        return retired
+
+    # ----------------------------------------------------------------- issue --
+
+    def _operand_ready(self, uop: Uop, operand: Operand, cycle: int) -> bool:
+        mode = operand.mode
+        if mode == MODE_LOCAL:
+            regfile = self.clusters[uop.cluster].regfile
+            return regfile.ready[operand.preg] <= cycle
+        if mode == MODE_PRED:
+            return True
+        if mode == MODE_FWD:
+            return operand.ready_override <= cycle
+        return True  # MODE_ZERO
+
+    def _load_disambiguated(self, uop: Uop) -> bool:
+        """Loads wait until every prior store's address is known (Table 1)."""
+        pending = self._pending_store_addrs
+        if not pending:
+            return True
+        seq = uop.dyn.seq
+        return min(pending) > seq
+
+    def _forwarding_store(self, uop: Uop) -> Optional[Uop]:
+        """Latest earlier in-flight store to the load's address, if any.
+
+        The returned store may still be awaiting its data (not DONE);
+        the load must then wait — a read cannot bypass a same-address
+        write whose value does not exist yet.
+        """
+        stores = self._inflight_stores.get(uop.dyn.mem_addr)
+        if not stores:
+            return None
+        seq = uop.dyn.seq
+        best = None
+        for store in stores:
+            if store.dyn.seq < seq and (
+                    best is None or store.dyn.seq > best.dyn.seq):
+                best = store
+        return best
+
+    def _drain_store_data(self, cycle: int) -> None:
+        """Complete address-generated stores whose data value arrived."""
+        if not self._stores_awaiting_data:
+            return
+        still_waiting: List[Uop] = []
+        for store in self._stores_awaiting_data:
+            if store.state != STATE_ISSUED:
+                continue  # invalidated; it will re-issue and re-enqueue
+            if self._operand_ready(store, store.operands[0], cycle):
+                self._complete(store, cycle)
+            else:
+                still_waiting.append(store)
+        self._stores_awaiting_data = still_waiting
+
+    def _issue(self, cycle: int) -> None:
+        leftover_int = [0] * self.config.n_clusters
+        leftover_fp = [0] * self.config.n_clusters
+        occupancy = self.stats.iq_occupancy_sum
+        for cluster in self.clusters:
+            cid = cluster.cluster_id
+            occupancy[cid] += cluster.occupancy
+            for int_side in (True, False):
+                queue = cluster.iq_for(int_side)
+                if not len(queue):
+                    continue
+                issued: List[Uop] = []
+                for uop in queue:
+                    if uop.state != STATE_WAITING:
+                        continue
+                    if uop.min_issue_cycle > cycle:
+                        continue
+                    blocked = self._try_issue_uop(uop, cluster, cycle)
+                    if blocked is None:
+                        issued.append(uop)
+                    elif blocked == "capacity" and uop.kind == KIND_INST:
+                        if int_side:
+                            leftover_int[cid] += 1
+                        else:
+                            leftover_fp[cid] += 1
+                queue.remove_many(issued)
+        idle_int = [c.fupool.idle_capacity(True) for c in self.clusters]
+        idle_fp = [c.fupool.idle_capacity(False) for c in self.clusters]
+        self.nready.record(leftover_int, idle_int, leftover_fp, idle_fp)
+
+    def _try_issue_uop(self, uop: Uop, cluster: Cluster,
+                       cycle: int) -> Optional[str]:
+        """Attempt issue; returns None on success or the blocking reason.
+
+        Reasons: "operands" (not ready), "capacity" (issue width or FU —
+        the NREADY-relevant case), "port"/"path" (global resources).
+        """
+        if uop.is_store:
+            # Address generation needs only the base operand (srcs are
+            # (value, base)); the data value is collected in the store
+            # queue afterwards (§2.4: "loads may execute when prior
+            # store addresses are known").
+            if not self._operand_ready(uop, uop.operands[1], cycle):
+                return "operands"
+        else:
+            for operand in uop.operands:
+                if not self._operand_ready(uop, operand, cycle):
+                    return "operands"
+        fupool = cluster.fupool
+        if uop.kind == KIND_INST:
+            if uop.is_load:
+                if not self._load_disambiguated(uop):
+                    return "operands"
+                forward = self._forwarding_store(uop)
+                if forward is not None and forward.state != STATE_DONE:
+                    return "operands"  # same-address store data not ready
+                if self._dports_used >= self.config.dcache_ports:
+                    return "port"
+            if not fupool.try_issue(uop.opclass):
+                return "capacity"
+            self._issue_inst(uop, cycle)
+            return None
+        free_copies = self.config.free_copy_issue
+        if uop.kind == KIND_COPY:
+            if not free_copies:
+                width_left = (fupool.int_width_left() if uop.int_side
+                              else fupool.fp_width_left())
+                if width_left <= 0:
+                    return "capacity"
+            if not self.interconnect.try_reserve(uop.dest_cluster,
+                                                 cycle + 1):
+                return "path"
+            if not free_copies:
+                fupool.try_issue_copy(not uop.int_side)
+            self._issue_copy(uop, cycle)
+            return None
+        # KIND_VCOPY
+        if not free_copies and fupool.int_width_left() <= 0:
+            return "capacity"
+        mismatch = not uop.consumer_operand.correct
+        if mismatch and not self.interconnect.try_reserve(
+                uop.consumer.cluster, cycle + 1):
+            return "path"
+        if not free_copies:
+            fupool.try_issue_copy(False)
+        self._issue_vcopy(uop, cycle, mismatch)
+        return None
+
+    def _register_readers(self, uop: Uop) -> None:
+        regfile = self.clusters[uop.cluster].regfile
+        for operand in uop.operands:
+            if operand.mode == MODE_LOCAL:
+                producer = regfile.producer[operand.preg]
+                if (producer is not None and producer is not uop
+                        and producer.state != STATE_COMMITTED):
+                    producer.readers.append(uop)
+
+    def _mark_issued(self, uop: Uop, cycle: int) -> None:
+        uop.state = STATE_ISSUED
+        uop.issue_cycle = cycle
+        self.stats.issued_uops += 1
+        self.stats.issued_per_cluster[uop.cluster] += 1
+        self._register_readers(uop)
+
+    def _issue_inst(self, uop: Uop, cycle: int) -> None:
+        dyn = uop.dyn
+        fupool = self.clusters[uop.cluster].fupool
+        latency = fupool.latency(uop.opclass)
+        if uop.is_load:
+            self._dports_used += 1
+            forward = self._forwarding_store(uop)
+            if forward is not None:
+                latency += 1  # store buffer forward
+                forward.readers.append(uop)
+            else:
+                latency += self.memory.data_latency(dyn.mem_addr)
+        self._mark_issued(uop, cycle)
+        if uop.is_store:
+            self._pending_store_addrs.discard(dyn.seq)
+            self._inflight_stores.setdefault(dyn.mem_addr, []).append(uop)
+            if self._operand_ready(uop, uop.operands[0], cycle):
+                self._schedule(cycle + latency,
+                               (_EV_COMPLETE, uop, uop.generation))
+            else:
+                # Address generated; park in the store queue until the
+                # data value arrives (drained once per cycle).
+                self._stores_awaiting_data.append(uop)
+            return
+        if uop.dest_preg is not None:
+            regfile = self.clusters[uop.cluster].regfile
+            regfile.set_ready(uop.dest_preg, cycle + latency)
+            regfile.producer[uop.dest_preg] = uop
+        self._schedule(cycle + latency,
+                       (_EV_COMPLETE, uop, uop.generation))
+
+    def _issue_copy(self, uop: Uop, cycle: int) -> None:
+        """A copy drives the interconnect the cycle after it issues."""
+        self._mark_issued(uop, cycle)
+        self.stats.communications += 1
+        arrival = self.interconnect.arrival_cycle(cycle + 1)
+        remote = self.clusters[uop.dest_cluster].regfile
+        remote.set_ready(uop.dest_preg, arrival)
+        remote.producer[uop.dest_preg] = uop
+        self._schedule(arrival, (_EV_COMPLETE, uop, uop.generation))
+
+    def _issue_vcopy(self, uop: Uop, cycle: int, mismatch: bool) -> None:
+        """Local compare; forward (and reissue the consumer) on mismatch."""
+        self._mark_issued(uop, cycle)
+        if mismatch:
+            self.stats.communications += 1
+            self.stats.mismatch_forwards += 1
+            arrival = self.interconnect.arrival_cycle(cycle + 1)
+            self._schedule(arrival, (_EV_VDELIVER, uop, uop.generation))
+        self._schedule(cycle + 1, (_EV_COMPLETE, uop, uop.generation))
+
+    # ---------------------------------------------------------------- decode --
+
+    def _predictions(self, dyn: DynInst) -> list:
+        """Per-slot value predictions, computed exactly once per DynInst."""
+        cached = self._vp_cache.get(dyn.seq)
+        if cached is not None:
+            return cached
+        entries: list = []
+        if not self._vp_enabled:
+            entries = [None] * len(dyn.srcs)
+        else:
+            for slot, logical in enumerate(dyn.srcs):
+                if logical == ZERO_REG or is_fp_reg(logical):
+                    entries.append(None)
+                    continue
+                actual = dyn.src_values[slot]
+                prediction = self.vp.predict(dyn.pc, slot, actual)
+                self.vp.update(dyn.pc, slot, actual)
+                if prediction.confident:
+                    entries.append((prediction.value,
+                                    prediction.value == actual))
+                else:
+                    entries.append(None)
+        self._vp_cache[dyn.seq] = entries
+        return entries
+
+    def _source_view(self, logical: int, predicted: bool,
+                     cycle: int) -> Tuple[SourceView, Optional[int]]:
+        """Build the steering view of one operand.
+
+        Returns the view and the physical-register-bearing "soonest"
+        cluster (also used by rename to pick copy sources).
+        """
+        mapped = self.renamer.mapped_clusters(logical)
+        best_cluster = None
+        best_ready = NEVER + 1
+        for cluster_id in mapped:
+            preg = self.renamer.mapping(logical, cluster_id)
+            ready = self.clusters[cluster_id].regfile.ready[preg]
+            if ready < best_ready:
+                best_ready = ready
+                best_cluster = cluster_id
+            elif ready == best_ready and ready >= NEVER:
+                # Tie between unscheduled producers: prefer the defining
+                # instruction's cluster over an unissued copy's target.
+                producer = self.clusters[cluster_id].regfile.producer[preg]
+                if producer is not None and producer.kind == KIND_INST:
+                    best_cluster = cluster_id
+        available = best_ready <= cycle
+        view = SourceView(logical, is_fp_reg(logical), available,
+                          frozenset(mapped), best_cluster, predicted)
+        return view, best_cluster
+
+    def _decode(self, cycle: int) -> None:
+        budget = self.config.decode_width
+        decoded = 0
+        while decoded < budget:
+            fetched = self.fetch.peek_decodable(cycle)
+            if fetched is None:
+                break
+            if not self._decode_one(fetched, cycle):
+                break
+            self.fetch.pop_one()
+            decoded += 1
+
+    def _decode_one(self, fetched: FetchedInst, cycle: int) -> bool:
+        """Steer+rename+dispatch one instruction; False on a stall."""
+        dyn = fetched.dyn
+        predictions = self._predictions(dyn)
+        views: List[SourceView] = []
+        soonest: List[Optional[int]] = []
+        for slot, logical in enumerate(dyn.srcs):
+            if logical == ZERO_REG:
+                views.append(SourceView(logical, False, True, frozenset(),
+                                        None, False))
+                soonest.append(None)
+                continue
+            view, best = self._source_view(
+                logical, predictions[slot] is not None, cycle)
+            views.append(view)
+            soonest.append(best)
+        cluster_id = self.steerer.choose(views, self.dcount, pc=dyn.pc)
+        plan = self._plan_operands(dyn, cluster_id, views, soonest,
+                                   predictions, cycle)
+        stall = self._check_resources(dyn, cluster_id, plan)
+        if stall is not None:
+            self.stats.decode_stalls[stall] = (
+                self.stats.decode_stalls.get(stall, 0) + 1)
+            return False
+        self._dispatch(fetched, cluster_id, plan, cycle)
+        return True
+
+    def _plan_operands(self, dyn: DynInst, cluster_id: int,
+                       views: Sequence[SourceView],
+                       soonest: Sequence[Optional[int]],
+                       predictions: Sequence,
+                       cycle: int) -> List[tuple]:
+        """Decide the handling of each source operand (see §2.1/§2.2).
+
+        Plan entries:
+          ("zero",)
+          ("local", preg)                      value ready or will be, here
+          ("pred_local", preg, correct)        speculate; producer verifies
+          ("copy", logical, src_cluster)       demand-generated copy
+          ("vcopy", logical, src_cluster, correct)  predicted remote operand
+        """
+        plan: List[tuple] = []
+        regfile = self.clusters[cluster_id].regfile
+        copy_planned: Dict[int, int] = {}   # logical -> slot of first copy
+        for slot, logical in enumerate(dyn.srcs):
+            if logical == ZERO_REG:
+                plan.append(("zero",))
+                continue
+            if logical in copy_planned:
+                # Same logical register twice: one copy serves both reads.
+                plan.append(("copy_dup", logical, copy_planned[logical]))
+                continue
+            view = views[slot]
+            prediction = predictions[slot]
+            if cluster_id in view.mapped:
+                preg = self.renamer.mapping(logical, cluster_id)
+                if (prediction is not None
+                        and regfile.ready[preg] > cycle):
+                    # §2.2: source not yet available and confident ->
+                    # dispatch speculatively; the producer verifies.
+                    plan.append(("pred_local", preg, prediction[1]))
+                else:
+                    plan.append(("local", preg))
+            elif prediction is not None:
+                # §2.2 extension: operand not mapped here -> predict it
+                # regardless of availability, verify with a vcopy.
+                plan.append(("vcopy", logical, soonest[slot],
+                             prediction[1]))
+            else:
+                plan.append(("copy", logical, soonest[slot]))
+                copy_planned[logical] = slot
+        return plan
+
+    def _check_resources(self, dyn: DynInst, cluster_id: int,
+                         plan: Sequence[tuple]) -> Optional[str]:
+        copies = [entry for entry in plan if entry[0] == "copy"]
+        vcopies = [entry for entry in plan if entry[0] == "vcopy"]
+        rob_needed = 1 + len(copies) + len(vcopies)
+        if len(self.rob) + rob_needed > self.config.rob_size:
+            return "rob"
+        # Free physical registers, per bank, in the consumer cluster
+        # (copy replicas land there too).
+        pregs_needed = [0, 0]
+        for entry in copies:
+            pregs_needed[RenameUnit.bank_of(entry[1])] += 1
+        if dyn.dest is not None and dyn.dest != ZERO_REG:
+            pregs_needed[RenameUnit.bank_of(dyn.dest)] += 1
+        for bank in (0, 1):
+            if (pregs_needed[bank]
+                    and self.renamer.free_count(cluster_id, bank)
+                    < pregs_needed[bank]):
+                return "pregs"
+        # Issue-queue space: the instruction in its cluster/side, each
+        # (v)copy in its source cluster on the value's side.
+        iq_needed: Dict[Tuple[int, bool], int] = {}
+        own = (cluster_id, dyn.op.is_int)
+        iq_needed[own] = 1
+        for entry in copies:
+            key = (entry[2], not is_fp_reg(entry[1]))
+            iq_needed[key] = iq_needed.get(key, 0) + 1
+        for entry in vcopies:
+            key = (entry[2], True)
+            iq_needed[key] = iq_needed.get(key, 0) + 1
+        for (cid, int_side), count in iq_needed.items():
+            if self.clusters[cid].iq_for(int_side).space_left() < count:
+                return "iq"
+        return None
+
+    def _dispatch(self, fetched: FetchedInst, cluster_id: int,
+                  plan: Sequence[tuple], cycle: int) -> None:
+        dyn = fetched.dyn
+        config = self.config
+        min_issue = cycle + 1 + config.extra_rename_cycles
+        uop = Uop(KIND_INST, dyn, 0, cluster_id, dyn.op.is_int, dyn.opclass)
+        uop.min_issue_cycle = min_issue
+        uop.mispredicted_branch = fetched.mispredicted
+        helpers: List[Uop] = []
+        for slot, entry in enumerate(plan):
+            kind = entry[0]
+            if kind == "zero":
+                uop.operands.append(Operand(MODE_ZERO, slot=slot))
+            elif kind == "local":
+                uop.operands.append(Operand(MODE_LOCAL, entry[1], slot=slot))
+            elif kind == "pred_local":
+                _, preg, correct = entry
+                operand = Operand(MODE_PRED, preg, correct, slot=slot)
+                uop.operands.append(operand)
+                self._count_speculation(correct)
+                if self._oracle:
+                    operand.verified = True
+                else:
+                    uop.unverified += 1
+                    self._register_verification(cluster_id, preg, uop,
+                                                operand, cycle)
+            elif kind == "copy":
+                _, logical, src_cluster = entry
+                helpers.append(self._make_copy(logical, src_cluster,
+                                               cluster_id, uop, slot,
+                                               min_issue))
+            elif kind == "copy_dup":
+                # Second read of a logical register already being copied
+                # by this instruction: share the replica.
+                _, logical, first_slot = entry
+                uop.operands.append(Operand(
+                    MODE_LOCAL, uop.operands[first_slot].preg, slot=slot))
+            else:  # vcopy
+                _, logical, src_cluster, correct = entry
+                operand = Operand(MODE_PRED, None, correct, slot=slot)
+                uop.operands.append(operand)
+                self._count_speculation(correct)
+                if self._oracle:
+                    operand.verified = True
+                else:
+                    uop.unverified += 1
+                    helpers.append(self._make_vcopy(logical, src_cluster,
+                                                    uop, operand, min_issue))
+        # Destination rename (Figure 1).
+        if dyn.dest is not None and dyn.dest != ZERO_REG:
+            preg, previous = self.renamer.define_dest(dyn.dest, cluster_id)
+            uop.dest_preg = preg
+            uop.dest_cluster = cluster_id
+            uop.free_on_commit = previous
+            self.clusters[cluster_id].regfile.set_pending(preg, uop)
+        # Helpers precede the instruction in dispatch (and ROB) order.
+        for helper in helpers:
+            helper.order = self._next_order
+            self._next_order += 1
+            self.rob.append(helper)
+            self.clusters[helper.cluster].iq_for(helper.int_side).dispatch(
+                helper)
+        uop.order = self._next_order
+        self._next_order += 1
+        self.rob.append(uop)
+        self.clusters[cluster_id].iq_for(uop.int_side).dispatch(uop)
+        if dyn.is_store:
+            self._pending_store_addrs.add(dyn.seq)
+        self.dcount.dispatch(cluster_id)
+        self.steerer.notify_dispatch(cluster_id)
+        self.stats.dispatched_insts += 1
+        self.stats.dispatch_per_cluster[cluster_id] += 1
+        self._vp_cache.pop(dyn.seq, None)
+
+    def _count_speculation(self, correct: bool) -> None:
+        self.stats.speculative_operands += 1
+        if not correct:
+            self.stats.mispredicted_operands += 1
+
+    def _register_verification(self, cluster_id: int, preg: int,
+                               consumer: Uop, operand: Operand,
+                               cycle: int) -> None:
+        """Attach a local prediction to its producer for writeback checks."""
+        producer = self.clusters[cluster_id].regfile.producer[preg]
+        if producer is None or producer.state == STATE_COMMITTED:
+            # The value became architectural between the view and now;
+            # the speculation trivially verifies against a final value.
+            operand.verified = True
+            consumer.unverified -= 1
+            if not operand.correct:
+                operand.mode = MODE_LOCAL
+            return
+        producer.verify_list.append((consumer, operand))
+        if producer.state == STATE_DONE:
+            # Completed this very cycle before we registered: schedule
+            # the verification ourselves.
+            self._schedule(max(cycle + 1, producer.complete_cycle + 1),
+                           (_EV_VERIFY, producer, producer.generation))
+
+    def _make_copy(self, logical: int, src_cluster: int, dst_cluster: int,
+                   consumer: Uop, slot: int, min_issue: int) -> Uop:
+        src_preg = self.renamer.mapping(logical, src_cluster)
+        replica = self.renamer.alloc_replica(logical, dst_cluster)
+        int_side = not is_fp_reg(logical)
+        copy = Uop(KIND_COPY, consumer.dyn, 0, src_cluster, int_side, None)
+        copy.min_issue_cycle = min_issue
+        copy.operands.append(Operand(MODE_LOCAL, src_preg, slot=slot))
+        copy.dest_preg = replica
+        copy.dest_cluster = dst_cluster
+        self.clusters[dst_cluster].regfile.set_pending(replica, copy)
+        consumer.operands.append(Operand(MODE_LOCAL, replica, slot=slot))
+        self.stats.dispatched_copies += 1
+        return copy
+
+    def _make_vcopy(self, logical: int, src_cluster: int, consumer: Uop,
+                    operand: Operand, min_issue: int) -> Uop:
+        src_preg = self.renamer.mapping(logical, src_cluster)
+        vcopy = Uop(KIND_VCOPY, consumer.dyn, 0, src_cluster, True, None)
+        vcopy.min_issue_cycle = min_issue
+        vcopy.operands.append(Operand(MODE_LOCAL, src_preg,
+                                      slot=operand.slot))
+        vcopy.consumer = consumer
+        vcopy.consumer_operand = operand
+        self.stats.dispatched_vcopies += 1
+        return vcopy

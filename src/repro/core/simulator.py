@@ -1,0 +1,58 @@
+"""Top-level simulation entry points.
+
+:func:`simulate` is the one-call API: give it a program (or a
+pre-executed trace) and a configuration, get a :class:`SimResult`.
+
+Typical use::
+
+    from repro import make_config, simulate
+    from repro.workloads import build_workload
+
+    program = build_workload("cjpeg")
+    result = simulate(program, make_config(4, predictor="stride",
+                                           steering="vpb"))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..isa.executor import FunctionalExecutor
+from ..isa.instruction import DynInst
+from ..isa.program import Program
+from .config import ProcessorConfig
+from .processor import Processor
+from .stats import SimResult
+
+__all__ = ["simulate", "run_trace"]
+
+Traceable = Union[Program, Iterable[DynInst], List[DynInst]]
+
+
+def simulate(workload: Traceable, config: ProcessorConfig,
+             max_instructions: int = 1_000_000,
+             max_cycles: Optional[int] = None) -> SimResult:
+    """Simulate *workload* on the processor described by *config*.
+
+    Args:
+        workload: a :class:`Program` (executed functionally on the fly)
+            or an iterable of :class:`DynInst` (e.g. a cached trace,
+            reused across configurations to keep comparisons aligned).
+        config: processor configuration (see
+            :func:`repro.core.config.make_config`).
+        max_instructions: functional execution cap for programs.
+        max_cycles: optional hard stop for the timing loop.
+    """
+    if isinstance(workload, Program):
+        trace = FunctionalExecutor(workload, max_instructions).run()
+    else:
+        trace = iter(workload)
+    processor = Processor(config, trace)
+    return processor.run(max_cycles=max_cycles)
+
+
+def run_trace(trace: Iterable[DynInst], config: ProcessorConfig,
+              max_cycles: Optional[int] = None) -> SimResult:
+    """Alias of :func:`simulate` for explicit trace input."""
+    return simulate(trace, config, max_cycles=max_cycles)

@@ -1,0 +1,193 @@
+"""Simulation statistics and the result object returned by the simulator.
+
+Metric definitions match the paper's:
+
+* **IPC** counts committed *program* instructions per cycle — copies and
+  verification-copies are plumbing, not work.
+* **Communications per instruction** counts actual inter-cluster value
+  transfers (copies sent plus verification-copy mismatch forwards)
+  divided by committed program instructions; a verification-copy whose
+  prediction was correct communicates nothing, which is the entire point
+  of the technique.
+* **Workload imbalance** is the average per-cycle NREADY figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SimStats", "SimResult"]
+
+
+@dataclass
+class SimStats:
+    """Raw counters accumulated by one simulation run."""
+
+    cycles: int = 0
+    committed_insts: int = 0
+    committed_copies: int = 0
+    committed_vcopies: int = 0
+
+    dispatched_insts: int = 0
+    dispatched_copies: int = 0
+    dispatched_vcopies: int = 0
+
+    #: Inter-cluster value transfers (copy sends + mismatch forwards).
+    communications: int = 0
+    #: Mismatch forwards alone (subset of communications).
+    mismatch_forwards: int = 0
+
+    #: Speculative operand uses (operands dispatched in PRED mode).
+    speculative_operands: int = 0
+    #: Speculative operands whose prediction was wrong.
+    mispredicted_operands: int = 0
+    #: Uop invalidations performed by selective reissue.
+    invalidations: int = 0
+
+    cond_branches: int = 0
+    branch_mispredictions: int = 0
+
+    issued_uops: int = 0
+
+    #: Per-cluster program-instruction dispatch counts.
+    dispatch_per_cluster: List[int] = field(default_factory=list)
+
+    #: Average per-cycle NREADY (the paper's workload-imbalance figure).
+    avg_imbalance: float = 0.0
+
+    #: Decode stall cycles by cause (diagnostics).
+    decode_stalls: Dict[str, int] = field(default_factory=dict)
+
+    #: Per-cluster issue counts (uops issued from each cluster).
+    issued_per_cluster: List[int] = field(default_factory=list)
+    #: Sum over cycles of each cluster's queued uops (for occupancy).
+    iq_occupancy_sum: List[int] = field(default_factory=list)
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed program instructions per cycle."""
+        return self.committed_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def comm_per_inst(self) -> float:
+        """Inter-cluster transfers per committed program instruction."""
+        if not self.committed_insts:
+            return 0.0
+        return self.communications / self.committed_insts
+
+    @property
+    def copies_per_inst(self) -> float:
+        """Copy uops dispatched per committed program instruction."""
+        if not self.committed_insts:
+            return 0.0
+        return self.dispatched_copies / self.committed_insts
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if not self.cond_branches:
+            return 0.0
+        return self.branch_mispredictions / self.cond_branches
+
+    def avg_iq_occupancy(self) -> List[float]:
+        """Average queued uops per cluster per cycle."""
+        if not self.cycles:
+            return [0.0] * len(self.iq_occupancy_sum)
+        return [total / self.cycles for total in self.iq_occupancy_sum]
+
+    def issue_utilization(self, issue_width_per_cluster: int) -> List[float]:
+        """Fraction of each cluster's issue slots used, per cycle."""
+        if not self.cycles or not issue_width_per_cluster:
+            return [0.0] * len(self.issued_per_cluster)
+        budget = self.cycles * issue_width_per_cluster
+        return [count / budget for count in self.issued_per_cluster]
+
+    @property
+    def value_misprediction_rate(self) -> float:
+        """Wrong speculative operand uses over all speculative uses."""
+        if not self.speculative_operands:
+            return 0.0
+        return self.mispredicted_operands / self.speculative_operands
+
+
+class SimResult:
+    """Everything one run produced: stats, config echo, component stats."""
+
+    def __init__(self, stats: SimStats, config, cache_stats: dict,
+                 vp_stats: Optional[dict] = None,
+                 bp_stats: Optional[dict] = None) -> None:
+        self.stats = stats
+        self.config = config
+        self.cache_stats = cache_stats
+        self.vp_stats = vp_stats or {}
+        self.bp_stats = bp_stats or {}
+
+    @property
+    def ipc(self) -> float:
+        """Shortcut to ``stats.ipc``."""
+        return self.stats.ipc
+
+    @property
+    def comm_per_inst(self) -> float:
+        """Shortcut to ``stats.comm_per_inst``."""
+        return self.stats.comm_per_inst
+
+    @property
+    def imbalance(self) -> float:
+        """Shortcut to ``stats.avg_imbalance``."""
+        return self.stats.avg_imbalance
+
+    def to_dict(self) -> dict:
+        """Machine-readable export of every metric of this run."""
+        s = self.stats
+        return {
+            "config": self.config.describe(),
+            "cycles": s.cycles,
+            "committed_insts": s.committed_insts,
+            "ipc": s.ipc,
+            "comm_per_inst": s.comm_per_inst,
+            "copies_per_inst": s.copies_per_inst,
+            "imbalance": s.avg_imbalance,
+            "communications": s.communications,
+            "mismatch_forwards": s.mismatch_forwards,
+            "copies": s.dispatched_copies,
+            "vcopies": s.dispatched_vcopies,
+            "speculative_operands": s.speculative_operands,
+            "mispredicted_operands": s.mispredicted_operands,
+            "invalidations": s.invalidations,
+            "branch_misprediction_rate": s.branch_misprediction_rate,
+            "dispatch_per_cluster": list(s.dispatch_per_cluster),
+            "issued_per_cluster": list(s.issued_per_cluster),
+            "avg_iq_occupancy": s.avg_iq_occupancy(),
+            "decode_stalls": dict(s.decode_stalls),
+            "cache": self.cache_stats,
+            "branch_predictor": self.bp_stats,
+            "value_predictor": self.vp_stats,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        s = self.stats
+        lines = [
+            f"config              : {self.config.describe()}",
+            f"cycles              : {s.cycles}",
+            f"committed insts     : {s.committed_insts}",
+            f"IPC                 : {s.ipc:.3f}",
+            f"communications/inst : {s.comm_per_inst:.4f}",
+            f"workload imbalance  : {s.avg_imbalance:.3f}",
+            f"branch mispred rate : {s.branch_misprediction_rate:.4f}",
+        ]
+        if self.vp_stats:
+            lines.append(
+                f"VP confident frac   : "
+                f"{self.vp_stats.get('confident_fraction', 0.0):.3f}")
+            lines.append(
+                f"VP hit ratio        : "
+                f"{self.vp_stats.get('hit_ratio', 0.0):.3f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<SimResult {self.config.describe()} ipc={self.ipc:.3f} "
+                f"comm={self.comm_per_inst:.3f}>")

@@ -1,0 +1,13 @@
+"""Exception types shared across the repro package."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "SimulationError"]
+
+
+class ReproError(Exception):
+    """Base class of all repro-specific errors."""
+
+
+class SimulationError(ReproError):
+    """The timing simulation reached an inconsistent or stuck state."""

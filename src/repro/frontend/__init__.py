@@ -1,0 +1,10 @@
+"""Processor front end: branch prediction and the fetch engine."""
+
+from .btb import BranchTargetBuffer
+from .branch_predictor import (BimodalPredictor, BranchPredictorStats,
+                               CombinedPredictor, GsharePredictor,
+                               TakenPredictor)
+from .fetch import FetchEngine, FetchedInst
+
+__all__ = ["BranchTargetBuffer", "BimodalPredictor", "BranchPredictorStats", "CombinedPredictor",
+           "GsharePredictor", "TakenPredictor", "FetchEngine", "FetchedInst"]

@@ -1,0 +1,160 @@
+"""Branch direction predictors.
+
+Table 1 of the paper: "Combined predictor of 1K entries with a Gshare
+with 64K 2-bit counters, 16 bit global history, and a bimodal predictor
+of 2K entries with 2-bit counters."
+
+All predictors share the classic 2-bit saturating-counter discipline
+(predict taken when the counter is >= 2).  Branch *targets* are assumed
+perfect (no BTB); only conditional-branch direction is predicted — the
+standard simplification for trace-driven simulation, applied uniformly
+to every configuration (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["BimodalPredictor", "GsharePredictor", "CombinedPredictor",
+           "BranchPredictorStats", "TakenPredictor"]
+
+
+def _check_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
+
+
+class BranchPredictorStats:
+    """Direction-prediction counters."""
+
+    __slots__ = ("lookups", "mispredictions")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.mispredictions = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters, initialized weakly taken."""
+
+    __slots__ = ("counters", "mask")
+
+    def __init__(self, entries: int) -> None:
+        _check_power_of_two(entries, "predictor entries")
+        self.counters: List[int] = [2] * entries
+        self.mask = entries - 1
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        counter = self.counters[index]
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        elif counter > 0:
+            self.counters[index] = counter - 1
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit counters (paper: 2K entries)."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        self._table = _CounterTable(entries)
+        self.stats = BranchPredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction."""
+        self.stats.lookups += 1
+        if self._table.predict(self._index(pc)) != taken:
+            self.stats.mispredictions += 1
+        self._table.update(self._index(pc), taken)
+
+
+class GsharePredictor:
+    """Gshare: PC xor global-history indexed counters (paper: 64K, 16-bit)."""
+
+    def __init__(self, entries: int = 64 * 1024,
+                 history_bits: int = 16) -> None:
+        self._table = _CounterTable(entries)
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self.stats = BranchPredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self.history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        self.stats.lookups += 1
+        if self._table.predict(index) != taken:
+            self.stats.mispredictions += 1
+        self._table.update(index, taken)
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+
+class CombinedPredictor:
+    """McFarling-style combined predictor (the paper's configuration).
+
+    A 1K-entry chooser of 2-bit counters selects between gshare and
+    bimodal per branch; the chooser trains toward whichever component
+    was right when they disagree.
+    """
+
+    def __init__(self, chooser_entries: int = 1024,
+                 gshare_entries: int = 64 * 1024, history_bits: int = 16,
+                 bimodal_entries: int = 2048) -> None:
+        self.gshare = GsharePredictor(gshare_entries, history_bits)
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self._chooser = _CounterTable(chooser_entries)
+        self.stats = BranchPredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(pc >> 2):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        gshare_pred = self.gshare.predict(pc)
+        bimodal_pred = self.bimodal.predict(pc)
+        chose_gshare = self._chooser.predict(pc >> 2)
+        prediction = gshare_pred if chose_gshare else bimodal_pred
+        self.stats.lookups += 1
+        if prediction != taken:
+            self.stats.mispredictions += 1
+        if gshare_pred != bimodal_pred:
+            self._chooser.update(pc >> 2, gshare_pred == taken)
+        self.gshare.update(pc, taken)
+        self.bimodal.update(pc, taken)
+
+
+class TakenPredictor:
+    """Always predicts taken — a degenerate baseline for tests/ablations."""
+
+    def __init__(self) -> None:
+        self.stats = BranchPredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.stats.lookups += 1
+        if not taken:
+            self.stats.mispredictions += 1

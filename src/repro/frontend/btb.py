@@ -1,0 +1,50 @@
+"""Branch target buffer.
+
+The paper's parameters (Table 1) specify only the direction predictor,
+so the fetch engine defaults to perfect targets (DESIGN.md §3 lists the
+idealization).  This optional BTB removes it: taken control transfers
+whose target is not cached stall fetch until the branch resolves, the
+same penalty as a direction misprediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["BranchTargetBuffer"]
+
+
+class BranchTargetBuffer:
+    """Direct-mapped, tagged target cache."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags: List[Optional[int]] = [None] * entries
+        self._targets: List[int] = [0] * entries
+        self.lookups = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Cached target of the branch at *pc*, or ``None`` on a miss."""
+        self.lookups += 1
+        index = self._index(pc)
+        if self._tags[index] == pc:
+            return self._targets[index]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of a taken control transfer."""
+        index = self._index(pc)
+        self._tags[index] = pc
+        self._targets[index] = target
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0

@@ -1,0 +1,5 @@
+"""Inter-cluster interconnection network (pipelined point-to-point paths)."""
+
+from .bus import Interconnect
+
+__all__ = ["Interconnect"]

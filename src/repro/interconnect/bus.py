@@ -1,0 +1,72 @@
+"""Inter-cluster interconnection paths (§4.2's simplified model).
+
+"For an N-cluster configuration, we assume a simplified model with N×B
+independent paths.  Each path is implemented through a pipelined bus
+where any cluster can send a value and each bus is connected to the
+write port of a single cluster register file."
+
+So bandwidth is modelled *per destination cluster*: B values per cycle
+may arrive at any one cluster's register file; since paths are fully
+pipelined, a new transfer may start on each path every cycle regardless
+of latency.  ``paths_per_cluster=None`` models the unbounded
+interconnect the paper uses to isolate latency effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Tracks path reservations and counts communications.
+
+    A transfer that leaves its source cluster at cycle *c* (the cycle
+    after its copy issues) delivers to the destination register file at
+    ``c + latency - 1``, giving the paper's one-cycle "bubble" between a
+    copy and its remote dependent when ``latency == 1``.
+    """
+
+    def __init__(self, n_clusters: int, latency: int = 1,
+                 paths_per_cluster: Optional[int] = None) -> None:
+        if latency < 1:
+            raise ValueError("communication latency must be >= 1")
+        if paths_per_cluster is not None and paths_per_cluster < 1:
+            raise ValueError("paths_per_cluster must be >= 1 or None")
+        self.n_clusters = n_clusters
+        self.latency = latency
+        self.paths_per_cluster = paths_per_cluster
+        self._reservations: Dict[Tuple[int, int], int] = {}
+        self.transfers = 0
+        self.rejected = 0
+
+    def try_reserve(self, dest_cluster: int, depart_cycle: int) -> bool:
+        """Reserve one path slot into *dest_cluster* at *depart_cycle*.
+
+        Returns False (and counts the rejection) when all B paths into
+        that cluster are busy that cycle.
+        """
+        if self.paths_per_cluster is None:
+            self.transfers += 1
+            return True
+        key = (dest_cluster, depart_cycle)
+        used = self._reservations.get(key, 0)
+        if used >= self.paths_per_cluster:
+            self.rejected += 1
+            return False
+        self._reservations[key] = used + 1
+        self.transfers += 1
+        return True
+
+    def arrival_cycle(self, depart_cycle: int) -> int:
+        """Cycle at which a transfer departing at *depart_cycle* is usable."""
+        return depart_cycle + self.latency
+
+    def prune(self, before_cycle: int) -> None:
+        """Drop reservation records older than *before_cycle*."""
+        if self.paths_per_cluster is None or not self._reservations:
+            return
+        self._reservations = {key: count for key, count
+                              in self._reservations.items()
+                              if key[1] >= before_cycle}

@@ -1,0 +1,33 @@
+"""µRISC: the small RISC ISA underlying the reproduction.
+
+The paper ran Alpha AXP binaries on a SimpleScalar-derived simulator.
+Neither is available here, so this package provides the substitute ISA:
+32 integer + 32 fp logical registers, RISC-style arithmetic, loads/stores
+and branches, a program builder, a text assembler, and a functional
+executor that turns programs into dynamic traces for the timing model.
+"""
+
+from .assembler import AssemblerError, assemble
+from .disassembler import disassemble, disassemble_instruction
+from .executor import ExecutionError, FunctionalExecutor, execute
+from .instruction import DynInst, Instruction
+from .memory_image import MemoryImage
+from .opcodes import OPCODES, OpClass, OpInfo, opinfo
+from .program import (CODE_BASE, INSTRUCTION_BYTES, Program, ProgramBuilder,
+                      ProgramError)
+from .registers import (FP_BASE, NUM_INT_REGS, NUM_LOGICAL_REGS, ZERO_REG,
+                        RegisterError, is_fp_reg, is_int_reg, reg_id,
+                        reg_name)
+
+__all__ = [
+    "AssemblerError", "assemble",
+    "disassemble", "disassemble_instruction",
+    "ExecutionError", "FunctionalExecutor", "execute",
+    "DynInst", "Instruction",
+    "MemoryImage",
+    "OPCODES", "OpClass", "OpInfo", "opinfo",
+    "CODE_BASE", "INSTRUCTION_BYTES", "Program", "ProgramBuilder",
+    "ProgramError",
+    "FP_BASE", "NUM_INT_REGS", "NUM_LOGICAL_REGS", "ZERO_REG",
+    "RegisterError", "is_fp_reg", "is_int_reg", "reg_id", "reg_name",
+]

@@ -1,0 +1,100 @@
+"""A small text assembler for µRISC.
+
+Accepts the obvious one-instruction-per-line syntax::
+
+    .data  src   1 2 3 4 5 6 7 8
+    .zeros dst   8
+
+            la   r1, src
+            li   r2, 0
+    loop:   lw   r3, r1, 0
+            addi r1, r1, 4
+            addi r2, r2, 1
+            blt  r2, r4, loop
+            halt
+
+Commas are optional, ``#`` starts a comment, labels end with ``:`` and may
+share a line with an instruction.  Data directives must precede their use.
+This exists for tests and for users who prefer files over the builder API;
+the workload suite uses :class:`~repro.isa.program.ProgramBuilder` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .opcodes import opinfo
+from .program import Program, ProgramBuilder, ProgramError
+
+__all__ = ["assemble", "AssemblerError"]
+
+
+class AssemblerError(ProgramError):
+    """Raised on malformed assembly text, with the line number."""
+
+
+def _tokenize(line: str) -> List[str]:
+    code = line.split("#", 1)[0]
+    return code.replace(",", " ").split()
+
+
+def _parse_number(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: expected a number, "
+                             f"got {token!r}") from None
+
+
+def assemble(text: str) -> Program:
+    """Assemble µRISC source text into a :class:`Program`."""
+    builder = ProgramBuilder()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw)
+        if not tokens:
+            continue
+        if tokens[0] == ".data":
+            if len(tokens) < 3:
+                raise AssemblerError(
+                    f"line {lineno}: .data needs a name and values")
+            builder.data(tokens[1],
+                         [_parse_number(t, lineno) for t in tokens[2:]])
+            continue
+        if tokens[0] == ".zeros":
+            if len(tokens) != 3:
+                raise AssemblerError(
+                    f"line {lineno}: .zeros needs a name and a count")
+            builder.zeros(tokens[1], _parse_number(tokens[2], lineno))
+            continue
+        while tokens and tokens[0].endswith(":"):
+            label = tokens.pop(0)[:-1]
+            if not label:
+                raise AssemblerError(f"line {lineno}: empty label")
+            try:
+                builder.label(label)
+            except ProgramError as exc:
+                raise AssemblerError(f"line {lineno}: {exc}") from None
+        if not tokens:
+            continue
+        op_name, raw_operands = tokens[0], tokens[1:]
+        try:
+            op = opinfo(op_name)
+        except KeyError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+        operands = []
+        for kind, token in zip(op.signature, raw_operands):
+            if kind == "I":
+                operands.append(_parse_number(token, lineno))
+            elif kind == "A" and (token.lstrip("-").isdigit()
+                                  or token.startswith("0x")):
+                operands.append(_parse_number(token, lineno))
+            else:
+                operands.append(token)
+        try:
+            builder.emit(op_name, *operands)
+        except ProgramError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+    try:
+        return builder.build()
+    except ProgramError as exc:
+        raise AssemblerError(str(exc)) from None

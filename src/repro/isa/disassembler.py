@@ -1,0 +1,77 @@
+"""Disassembler: turn an assembled Program back into assembly text.
+
+The output round-trips: ``assemble(disassemble(program))`` produces a
+program with the identical instruction stream (data segments are
+re-emitted as ``.data`` directives from the functional memory image).
+Useful for inspecting generated workloads and for golden tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .instruction import Instruction
+from .program import INSTRUCTION_BYTES, Program
+from .registers import reg_name
+
+__all__ = ["disassemble", "disassemble_instruction"]
+
+
+def disassemble_instruction(inst: Instruction,
+                            labels: Dict[int, str]) -> str:
+    """One instruction as assembly text (without its own label)."""
+    op = inst.op
+    operands: List[str] = []
+    srcs = iter(inst.srcs)
+    for kind in op.signature:
+        if kind == "R":
+            operands.append(reg_name(inst.dest))
+        elif kind == "S":
+            operands.append(reg_name(next(srcs)))
+        elif kind == "I":
+            operands.append(str(inst.imm))
+        elif kind == "A":
+            operands.append(str(inst.imm))  # raw address round-trips
+        elif kind == "L":
+            operands.append(labels[inst.target])
+    if operands:
+        return f"{op.name} " + ", ".join(operands)
+    return op.name
+
+
+def disassemble(program: Program) -> str:
+    """The whole program as round-trippable assembly text."""
+    lines: List[str] = []
+    # Data segment: one .data directive per contiguous initialized run.
+    memory = program.memory.snapshot()
+    if memory:
+        addresses = sorted(memory)
+        run_start = prev = addresses[0]
+        values = [memory[prev]]
+        runs = []
+        for addr in addresses[1:]:
+            if addr == prev + 4 and isinstance(memory[addr], int) \
+                    and isinstance(values[-1], int):
+                values.append(memory[addr])
+            else:
+                runs.append((run_start, values))
+                run_start = addr
+                values = [memory[addr]]
+            prev = addr
+        runs.append((run_start, values))
+        for index, (addr, run_values) in enumerate(runs):
+            if all(isinstance(v, int) for v in run_values):
+                lines.append(f"# data at {addr:#x}")
+                lines.append(f".data d{index} "
+                             + " ".join(str(v) for v in run_values))
+    # Branch-target labels.
+    labels: Dict[int, str] = {}
+    for inst in program.instructions:
+        if inst.target is not None and inst.target not in labels:
+            index = (inst.target - program.code_base) // INSTRUCTION_BYTES
+            labels[inst.target] = f"L{index}"
+    for inst in program.instructions:
+        if inst.pc in labels:
+            lines.append(f"{labels[inst.pc]}:")
+        lines.append("    " + disassemble_instruction(inst, labels))
+    return "\n".join(lines) + "\n"

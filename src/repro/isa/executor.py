@@ -1,0 +1,205 @@
+"""Functional executor: runs a µRISC program and emits the dynamic trace.
+
+The executor is *architectural only* — no timing.  It produces the
+committed instruction stream (:class:`~repro.isa.instruction.DynInst`)
+that the cycle-level simulator in :mod:`repro.core` replays.  Because the
+trace carries true operand values, the timing model can classify value
+predictions at decode and apply their effects at the paper's verification
+points.
+
+Integer arithmetic wraps at 64 bits (two's complement), so value
+sequences behave like the Alpha integers the paper's predictor saw.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .instruction import DynInst, Instruction
+from .program import INSTRUCTION_BYTES, Program
+from .registers import FP_BASE, NUM_LOGICAL_REGS, ZERO_REG
+
+__all__ = ["ExecutionError", "FunctionalExecutor", "execute"]
+
+_INT_MIN = -(1 << 63)
+_WRAP = 1 << 64
+
+
+def _wrap64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    return (value - _INT_MIN) % _WRAP + _INT_MIN
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program misbehaves (bad PC, runaway execution...)."""
+
+
+def _int_binops() -> Dict[str, Callable[[int, int], int]]:
+    return {
+        "add": lambda a, b: _wrap64(a + b),
+        "sub": lambda a, b: _wrap64(a - b),
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "sll": lambda a, b: _wrap64(a << (b & 63)),
+        "srl": lambda a, b: (a % _WRAP) >> (b & 63),
+        "sra": lambda a, b: a >> (b & 63),
+        "slt": lambda a, b: int(a < b),
+        "sltu": lambda a, b: int((a % _WRAP) < (b % _WRAP)),
+        "min": lambda a, b: a if a < b else b,
+        "max": lambda a, b: a if a > b else b,
+        "mul": lambda a, b: _wrap64(a * b),
+        "div": lambda a, b: _wrap64(int(a / b)) if b else 0,
+        "rem": lambda a, b: _wrap64(a - int(a / b) * b) if b else 0,
+    }
+
+
+_IMM_ALIAS = {"addi": "add", "andi": "and", "ori": "or", "xori": "xor",
+              "slli": "sll", "srli": "srl", "srai": "sra", "slti": "slt"}
+
+_FP_BINOPS: Dict[str, Callable[[float, float], float]] = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: (a / b) if b else 0.0,
+}
+
+_FP_COMPARES: Dict[str, Callable[[float, float], int]] = {
+    "feq": lambda a, b: int(a == b),
+    "flt": lambda a, b: int(a < b),
+    "fle": lambda a, b: int(a <= b),
+}
+
+_BRANCH_TESTS: Dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+}
+
+
+class FunctionalExecutor:
+    """Executes a program, yielding the dynamic committed stream.
+
+    Args:
+        program: assembled program.
+        max_instructions: hard cap on dynamic instructions; hitting it
+            ends the trace cleanly (the synthetic workloads run far past
+            any interesting warm-up, like the paper's run-to-completion
+            Mediabench runs, just shorter).
+    """
+
+    def __init__(self, program: Program,
+                 max_instructions: int = 1_000_000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.int_regs: List[int] = [0] * FP_BASE
+        self.fp_regs: List[float] = [0.0] * (NUM_LOGICAL_REGS - FP_BASE)
+        self._int_ops = _int_binops()
+
+    # -- register helpers ------------------------------------------------------
+
+    def _read(self, rid: int):
+        if rid < FP_BASE:
+            return self.int_regs[rid]
+        return self.fp_regs[rid - FP_BASE]
+
+    def _write(self, rid: int, value) -> None:
+        if rid < FP_BASE:
+            if rid != ZERO_REG:
+                self.int_regs[rid] = value
+        else:
+            self.fp_regs[rid - FP_BASE] = value
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> Iterator[DynInst]:
+        """Yield :class:`DynInst` records until ``halt`` or the cap."""
+        program = self.program
+        memory = program.memory
+        int_ops = self._int_ops
+        read = self._read
+        write = self._write
+        pc = program.code_base
+        end_pc = program.code_base + len(program) * INSTRUCTION_BYTES
+        seq = 0
+        cap = self.max_instructions
+        while seq < cap:
+            if not (program.code_base <= pc < end_pc):
+                raise ExecutionError(f"PC out of code segment: {pc:#x}")
+            inst: Instruction = program.at(pc)
+            op = inst.op
+            name = op.name
+            next_pc = pc + INSTRUCTION_BYTES
+            dest = inst.dest
+            srcs = inst.srcs
+            src_values = tuple(read(s) for s in srcs)
+            result = None
+            mem_addr: Optional[int] = None
+            taken: Optional[bool] = None
+            target: Optional[int] = None
+
+            if name in int_ops:
+                result = int_ops[name](src_values[0], src_values[1])
+            elif name in _IMM_ALIAS:
+                result = int_ops[_IMM_ALIAS[name]](src_values[0], inst.imm)
+            elif name in ("li", "la"):
+                result = inst.imm
+            elif name == "mov":
+                result = src_values[0]
+            elif name == "nop":
+                pass
+            elif name in ("lw", "lb", "flw"):
+                mem_addr = _wrap64(src_values[0] + inst.imm)
+                result = memory.load(mem_addr)
+                if name == "lb":
+                    result = int(result) & 0xFF
+                elif name == "flw":
+                    result = float(result)
+                else:
+                    result = _wrap64(int(result))
+            elif name in ("sw", "sb", "fsw"):
+                mem_addr = _wrap64(src_values[1] + inst.imm)
+                value = src_values[0]
+                if name == "sb":
+                    value = int(value) & 0xFF
+                memory.store(mem_addr, value)
+            elif name in _BRANCH_TESTS:
+                taken = _BRANCH_TESTS[name](src_values[0], src_values[1])
+                target = inst.target
+                if taken:
+                    next_pc = inst.target
+            elif name == "j":
+                taken = True
+                target = inst.target
+                next_pc = inst.target
+            elif name == "halt":
+                return
+            elif name in _FP_BINOPS:
+                result = _FP_BINOPS[name](src_values[0], src_values[1])
+            elif name in _FP_COMPARES:
+                result = _FP_COMPARES[name](src_values[0], src_values[1])
+            elif name == "fmov":
+                result = src_values[0]
+            elif name == "fneg":
+                result = -src_values[0]
+            elif name == "cvtif":
+                result = float(src_values[0])
+            elif name == "cvtfi":
+                result = _wrap64(int(src_values[0]))
+            else:  # pragma: no cover - opcode table is closed
+                raise ExecutionError(f"unimplemented opcode {name!r}")
+
+            if dest is not None:
+                write(dest, result)
+                if dest == ZERO_REG:
+                    result = 0
+            yield DynInst(seq, pc, op, dest, srcs, src_values, result,
+                          mem_addr, taken, target)
+            seq += 1
+            pc = next_pc
+
+
+def execute(program: Program, max_instructions: int = 1_000_000) -> List[DynInst]:
+    """Run *program* to completion (or the cap) and return the full trace."""
+    return list(FunctionalExecutor(program, max_instructions).run())

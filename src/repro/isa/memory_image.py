@@ -1,0 +1,65 @@
+"""Functional data memory for the µRISC executor.
+
+A sparse, idealized memory: each address maps to the last value stored at
+it.  The functional executor manipulates values at the granularity the
+program chose (``lw``/``sw`` move 4-byte words, ``lb``/``sb`` bytes,
+``flw``/``fsw`` 8-byte fp values).  Sub-word aliasing between differently
+sized accesses at overlapping addresses is not modelled — the synthetic
+workloads never rely on it, and the timing model only needs *addresses*,
+which are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class MemoryImage:
+    """Sparse functional memory with a simple bump allocator.
+
+    The allocator hands out disjoint, aligned regions for the workload
+    data segments.  Reads of never-written locations return 0 (integer)
+    so that programs are deterministic without full initialization.
+    """
+
+    #: Default base address of the data segment; code lives below it.
+    DATA_BASE = 0x10_0000
+
+    def __init__(self, data_base: int = DATA_BASE) -> None:
+        self._mem: Dict[int, object] = {}
+        self._next_free = data_base
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve *nbytes* of address space and return its base address."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        base = (self._next_free + align - 1) // align * align
+        self._next_free = base + nbytes
+        return base
+
+    def alloc_words(self, values: Iterable, elem_size: int = 4) -> int:
+        """Allocate and initialize an array; returns its base address."""
+        values = list(values)
+        base = self.alloc(len(values) * elem_size, align=max(elem_size, 1))
+        for i, value in enumerate(values):
+            self._mem[base + i * elem_size] = value
+        return base
+
+    # -- access --------------------------------------------------------------
+
+    def load(self, addr: int):
+        """Read the value most recently stored at *addr* (0 if none)."""
+        return self._mem.get(addr, 0)
+
+    def store(self, addr: int, value) -> None:
+        """Store *value* at *addr*."""
+        self._mem[addr] = value
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def snapshot(self) -> Dict[int, object]:
+        """Copy of the current contents (for tests)."""
+        return dict(self._mem)

@@ -1,0 +1,75 @@
+"""Register file name space of the µRISC ISA.
+
+The ISA exposes 32 integer registers (``r0`` .. ``r31``) and 32
+floating-point registers (``f0`` .. ``f31``).  Internally every logical
+register is a small integer: integer registers occupy ids 0..31 and
+floating-point registers occupy ids 32..63.  ``r0`` is hard-wired to zero,
+mirroring the MIPS/Alpha convention the paper's toolchain assumed.
+
+The timing model only ever sees register *ids*; names exist for program
+authors and for diagnostics.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Id of the hard-wired zero register.
+ZERO_REG = 0
+
+#: First id of the floating-point register bank.
+FP_BASE = NUM_INT_REGS
+
+
+class RegisterError(ValueError):
+    """Raised when a register name or id is malformed."""
+
+
+def reg_id(name: str) -> int:
+    """Translate a register name (``"r7"``, ``"f3"``) to its internal id.
+
+    >>> reg_id("r0")
+    0
+    >>> reg_id("f0")
+    32
+    """
+    if not name or len(name) < 2:
+        raise RegisterError(f"malformed register name: {name!r}")
+    bank, digits = name[0], name[1:]
+    if not digits.isdigit():
+        raise RegisterError(f"malformed register name: {name!r}")
+    index = int(digits)
+    if bank == "r":
+        if index >= NUM_INT_REGS:
+            raise RegisterError(f"integer register out of range: {name!r}")
+        return index
+    if bank == "f":
+        if index >= NUM_FP_REGS:
+            raise RegisterError(f"fp register out of range: {name!r}")
+        return FP_BASE + index
+    raise RegisterError(f"unknown register bank in {name!r} (want r/f)")
+
+
+def reg_name(rid: int) -> str:
+    """Translate an internal register id back to its name.
+
+    >>> reg_name(33)
+    'f1'
+    """
+    if 0 <= rid < FP_BASE:
+        return f"r{rid}"
+    if FP_BASE <= rid < NUM_LOGICAL_REGS:
+        return f"f{rid - FP_BASE}"
+    raise RegisterError(f"register id out of range: {rid}")
+
+
+def is_fp_reg(rid: int) -> bool:
+    """Return True when *rid* names a floating-point register."""
+    return rid >= FP_BASE
+
+
+def is_int_reg(rid: int) -> bool:
+    """Return True when *rid* names an integer register."""
+    return 0 <= rid < FP_BASE

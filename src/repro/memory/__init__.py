@@ -1,0 +1,7 @@
+"""Memory hierarchy substrate: caches and main-memory latency model."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import MemoryHierarchy
+from .main_memory import MainMemory
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "MainMemory"]

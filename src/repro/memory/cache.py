@@ -1,0 +1,111 @@
+"""Set-associative cache timing model.
+
+Timing-only: the functional values live in the trace; the cache tracks
+tags and replacement state to decide whether each access is a hit, and
+reports the access latency.  Parameters follow Table 1 of the paper
+(64KB 2-way L1s with 32-byte lines, 256KB 4-way L2 with 64-byte lines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Cache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    __slots__ = ("accesses", "misses")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"accesses": self.accesses, "misses": self.misses,
+                "miss_rate": self.miss_rate}
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    Args:
+        name: label used in statistics.
+        size_bytes: total capacity.
+        assoc: number of ways.
+        line_bytes: line size (power of two).
+        hit_time: latency of a hit, in cycles.
+        next_level: the cache backing this one, or ``None`` when misses
+            go to main memory.
+        miss_penalty: extra cycles a miss costs on top of this cache's
+            hit time, when ``next_level`` is ``None`` is not used; when a
+            fixed L1->L2 penalty is wanted (the paper quotes "6 cycle
+            miss penalty" for the L1s) it can be given here and the next
+            level is still consulted to model L2 hits vs misses.
+        memory_latency: cycles charged when the *last* level misses.
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int, hit_time: int,
+                 next_level: Optional["Cache"] = None,
+                 memory_latency: int = 32) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(f"{name}: size must be a multiple of "
+                             f"assoc * line_bytes")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_time = hit_time
+        self.next_level = next_level
+        self.memory_latency = memory_latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._line_shift = line_bytes.bit_length() - 1
+        # sets[i] maps tag -> last-use stamp (LRU via min stamp eviction)
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self.stats = CacheStats()
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Access *addr*; returns the total latency in cycles.
+
+        Misses allocate (write-allocate) and recurse into the next
+        level; the returned latency is this level's hit time plus the
+        next level's latency on a miss.
+        """
+        self.stats.accesses += 1
+        line = addr >> self._line_shift
+        tag = line // self.num_sets
+        index = line % self.num_sets
+        cache_set = self._sets[index]
+        self._stamp += 1
+        if tag in cache_set:
+            cache_set[tag] = self._stamp
+            return self.hit_time
+        self.stats.misses += 1
+        if len(cache_set) >= self.assoc:
+            victim = min(cache_set, key=cache_set.__getitem__)
+            del cache_set[victim]
+        cache_set[tag] = self._stamp
+        if self.next_level is not None:
+            return self.hit_time + self.next_level.access(addr, is_write)
+        return self.hit_time + self.memory_latency
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive lookup (does not touch LRU or stats)."""
+        line = addr >> self._line_shift
+        return (line // self.num_sets) in self._sets[line % self.num_sets]
+
+    def flush(self) -> None:
+        """Drop all cached lines (stats are kept)."""
+        for cache_set in self._sets:
+            cache_set.clear()

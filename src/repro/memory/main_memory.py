@@ -1,0 +1,29 @@
+"""Main-memory latency model.
+
+Table 1: "8 bytes bus bandwidth to main memory, 18 cycles first chunk,
+2 cycles interchunk".  A line fill of ``line_bytes`` therefore costs
+``first_chunk + (line_bytes / bus_bytes - 1) * interchunk`` cycles.
+Bus occupancy/contention is not modelled (one outstanding fill at the
+latency above), matching the level of detail the paper reports.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Computes line-fill latencies for the last cache level."""
+
+    def __init__(self, first_chunk: int = 18, interchunk: int = 2,
+                 bus_bytes: int = 8) -> None:
+        if bus_bytes <= 0:
+            raise ValueError("bus_bytes must be positive")
+        self.first_chunk = first_chunk
+        self.interchunk = interchunk
+        self.bus_bytes = bus_bytes
+
+    def fill_latency(self, line_bytes: int) -> int:
+        """Cycles to fill one cache line of *line_bytes*."""
+        chunks = max(1, (line_bytes + self.bus_bytes - 1) // self.bus_bytes)
+        return self.first_chunk + (chunks - 1) * self.interchunk

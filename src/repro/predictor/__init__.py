@@ -1,0 +1,10 @@
+"""Value predictors: the paper's stride predictor plus oracle/null bounds."""
+
+from .base import NullPredictor, Prediction, ValuePredictor, ValuePredictorStats
+from .context import ContextPredictor, HybridPredictor
+from .perfect import PerfectPredictor
+from .stride import StridePredictor
+
+__all__ = ["NullPredictor", "Prediction", "ValuePredictor",
+           "ValuePredictorStats", "ContextPredictor", "HybridPredictor",
+           "PerfectPredictor", "StridePredictor"]

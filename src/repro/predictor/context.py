@@ -1,0 +1,139 @@
+"""Context-based (FCM) and hybrid value predictors.
+
+The paper closes §3.3 noting that "the performance of the VPB scheme may
+significantly be improved by a more effective predictor" and §6 repeats
+that its stride predictor is deliberately simple.  These predictors are
+the natural next step the authors point at (Sazeides & Smith's
+finite-context-method family — their own reference [19]):
+
+* :class:`ContextPredictor` — a two-level FCM: a first-level table maps
+  (PC, slot) to a hash of the last *order* values; a second-level table
+  maps that history to the predicted next value with a 2-bit counter.
+  Catches repeating non-arithmetic sequences (table walks, cyclic
+  coefficients) that stride prediction cannot.
+* :class:`HybridPredictor` — stride + context with a per-entry 2-bit
+  chooser trained toward whichever component was right, the classic
+  tournament arrangement.
+"""
+
+from __future__ import annotations
+
+from .base import Prediction, ValuePredictor
+from .stride import StridePredictor
+
+__all__ = ["ContextPredictor", "HybridPredictor"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(history: int, value: int) -> int:
+    """Fold a value into a history hash (xor-rotate, cheap in hardware)."""
+    folded = (value ^ (value >> 16) ^ (value >> 32)) & 0xFFFF
+    return ((history << 5) ^ folded) & _MASK64
+
+
+class ContextPredictor(ValuePredictor):
+    """Two-level finite-context-method predictor.
+
+    Args:
+        l1_entries: first-level (history) table size, power of two.
+        l2_entries: second-level (value) table size, power of two.
+        order: values of history folded into the hash.
+        confidence_threshold: counter value above which predictions are
+            used (2-bit counter, like the paper's stride predictor).
+    """
+
+    def __init__(self, l1_entries: int = 16 * 1024,
+                 l2_entries: int = 64 * 1024, order: int = 2,
+                 confidence_threshold: int = 1) -> None:
+        super().__init__()
+        for name, entries in (("l1_entries", l1_entries),
+                              ("l2_entries", l2_entries)):
+            if entries <= 0 or entries & (entries - 1):
+                raise ValueError(f"{name} must be a power of two")
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.confidence_threshold = confidence_threshold
+        self._l1_mask = l1_entries - 1
+        self._l2_mask = l2_entries - 1
+        self._history = [0] * l1_entries
+        self._value = [0] * l2_entries
+        self._counter = [0] * l2_entries
+
+    def _l1_index(self, pc: int, slot: int) -> int:
+        return (((pc >> 2) << 1) | (slot & 1)) & self._l1_mask
+
+    def _l2_index(self, history: int) -> int:
+        return history & self._l2_mask
+
+    def predict(self, pc: int, slot: int, actual: int) -> Prediction:
+        history = self._history[self._l1_index(pc, slot)]
+        index = self._l2_index(history)
+        prediction = Prediction(self._value[index],
+                                self._counter[index]
+                                > self.confidence_threshold)
+        return self._record(prediction, actual)
+
+    def update(self, pc: int, slot: int, actual: int) -> None:
+        l1 = self._l1_index(pc, slot)
+        history = self._history[l1]
+        index = self._l2_index(history)
+        if self._value[index] == actual:
+            if self._counter[index] < 3:
+                self._counter[index] += 1
+        else:
+            if self._counter[index] > 0:
+                self._counter[index] -= 1
+            else:
+                self._value[index] = actual
+        self._history[l1] = _mix(history, actual)
+
+
+class HybridPredictor(ValuePredictor):
+    """Stride/context tournament predictor with a per-entry chooser.
+
+    The chooser (2-bit counter per (PC, slot)) trains toward the
+    component that predicted correctly when the two disagree; the
+    offered prediction is the chosen component's, confident only when
+    that component is confident.
+    """
+
+    def __init__(self, stride_entries: int = 64 * 1024,
+                 context_l1: int = 16 * 1024,
+                 context_l2: int = 64 * 1024,
+                 chooser_entries: int = 16 * 1024) -> None:
+        super().__init__()
+        if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
+            raise ValueError("chooser_entries must be a power of two")
+        self.stride = StridePredictor(stride_entries)
+        self.context = ContextPredictor(context_l1, context_l2)
+        self._chooser_mask = chooser_entries - 1
+        # 0..3; >= 2 prefers the context component.
+        self._chooser = [1] * chooser_entries
+
+    def _chooser_index(self, pc: int, slot: int) -> int:
+        return (((pc >> 2) << 1) | (slot & 1)) & self._chooser_mask
+
+    def predict(self, pc: int, slot: int, actual: int) -> Prediction:
+        stride_pred = self.stride.predict(pc, slot, actual)
+        context_pred = self.context.predict(pc, slot, actual)
+        use_context = self._chooser[self._chooser_index(pc, slot)] >= 2
+        chosen = context_pred if use_context else stride_pred
+        return self._record(Prediction(chosen.value, chosen.confident),
+                            actual)
+
+    def update(self, pc: int, slot: int, actual: int) -> None:
+        index = self._chooser_index(pc, slot)
+        stride_right = (self.stride.predict(pc, slot, actual).value
+                        == actual)
+        context_right = (self.context.predict(pc, slot, actual).value
+                         == actual)
+        if stride_right != context_right:
+            counter = self._chooser[index]
+            if context_right and counter < 3:
+                self._chooser[index] = counter + 1
+            elif stride_right and counter > 0:
+                self._chooser[index] = counter - 1
+        self.stride.update(pc, slot, actual)
+        self.context.update(pc, slot, actual)

@@ -1,0 +1,7 @@
+"""Register renaming substrate: map table, free lists, rename unit."""
+
+from .free_list import FreeList
+from .map_table import MapTable
+from .renamer import RenameUnit
+
+__all__ = ["FreeList", "MapTable", "RenameUnit"]

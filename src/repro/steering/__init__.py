@@ -1,0 +1,16 @@
+"""Dynamic instruction steering: metrics, Baseline/Modified/VPB, ablations."""
+
+from .base import SourceView, Steerer
+from .baseline import (BaselineSteerer, ModifiedSteerer, RMBSSteerer,
+                       VPBSteerer, default_balance_threshold,
+                       default_vpb_threshold)
+from .metrics import DCountTracker, NReadyMeter
+from .simple import BalanceOnlySteerer, DependenceOnlySteerer, RoundRobinSteerer
+from .static import StaticSteerer, profile_static_assignment
+
+__all__ = ["SourceView", "Steerer",
+           "BaselineSteerer", "ModifiedSteerer", "RMBSSteerer", "VPBSteerer",
+           "default_balance_threshold", "default_vpb_threshold",
+           "DCountTracker", "NReadyMeter",
+           "BalanceOnlySteerer", "DependenceOnlySteerer", "RoundRobinSteerer",
+           "StaticSteerer", "profile_static_assignment"]

@@ -1,0 +1,93 @@
+"""Steering interfaces: the decode-time operand view and the Steerer ABC.
+
+The steering logic runs in the decode/rename stage.  For each source
+operand it sees exactly what the map table and scoreboards expose at that
+moment (§2.3.1): where the operand is mapped, whether its value is
+already available, where a pending value will be produced soonest, and —
+for the value-prediction-aware schemes — whether a confident prediction
+exists for it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence
+
+from .metrics import DCountTracker
+
+__all__ = ["SourceView", "Steerer"]
+
+_ALL_CLUSTERS_CACHE = {}
+
+
+def _all_clusters(n: int) -> FrozenSet[int]:
+    cached = _ALL_CLUSTERS_CACHE.get(n)
+    if cached is None:
+        cached = frozenset(range(n))
+        _ALL_CLUSTERS_CACHE[n] = cached
+    return cached
+
+
+class SourceView:
+    """Decode-time facts about one source operand.
+
+    Attributes:
+        logical: logical register id.
+        is_fp: operand lives in the fp bank (never predicted).
+        available: value is already computed in at least one mapped
+            cluster at decode time.
+        mapped: clusters with a valid map-table field for the operand.
+        soonest_cluster: mapped cluster where the value is (or will
+            first be) available — rule 2.1's "where the pending operand
+            is to be produced", narrowed per §2.3.1 when replicas are in
+            flight.
+        predicted: a confident value prediction exists for this operand.
+    """
+
+    __slots__ = ("logical", "is_fp", "available", "mapped",
+                 "soonest_cluster", "predicted")
+
+    def __init__(self, logical: int, is_fp: bool, available: bool,
+                 mapped: FrozenSet[int], soonest_cluster: Optional[int],
+                 predicted: bool) -> None:
+        self.logical = logical
+        self.is_fp = is_fp
+        self.available = available
+        self.mapped = mapped
+        self.soonest_cluster = soonest_cluster
+        self.predicted = predicted
+
+    def __repr__(self) -> str:
+        return (f"<Src r{self.logical} avail={self.available} "
+                f"mapped={sorted(self.mapped)} pred={self.predicted}>")
+
+
+class Steerer:
+    """Decides the execution cluster of each decoded instruction."""
+
+    #: Human-readable scheme name (used in reports and benchmarks).
+    name = "abstract"
+
+    def __init__(self, n_clusters: int) -> None:
+        self.n_clusters = n_clusters
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc: Optional[int] = None) -> int:
+        """Return the cluster for an instruction with *sources*.
+
+        *pc* is the instruction's address; only PC-indexed schemes
+        (static partitioning) use it.
+
+        ``choose`` may be called several times for the same instruction
+        (the decode stage retries after structural stalls), so it must
+        be side-effect free; dispatch-dependent state belongs in
+        :meth:`notify_dispatch`.  The core updates DCOUNT after the
+        decision; implementations must not mutate it.
+        """
+        raise NotImplementedError
+
+    def notify_dispatch(self, cluster: int) -> None:
+        """Called once when an instruction actually dispatches."""
+
+    def all_clusters(self) -> FrozenSet[int]:
+        """The full candidate set."""
+        return _all_clusters(self.n_clusters)

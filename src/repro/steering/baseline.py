@@ -1,0 +1,166 @@
+"""The Baseline steering scheme and its value-prediction variants.
+
+§3.1's Baseline is an enhanced "Advanced RMBS" heuristic generalized to
+N clusters:
+
+1. If the workload imbalance (max |DCOUNT|) exceeds a threshold, send
+   the instruction to the least loaded cluster.
+2. Otherwise identify the clusters with minimum communication penalty:
+   2.1 if any source operand is unavailable, the clusters where the
+       pending operands are to be produced;
+   2.2 if all operands are available, the clusters with the greatest
+       number of operands currently mapped;
+   2.3 with no source operands, all clusters.
+3. Pick the least loaded cluster among those selected by step 2.
+
+§3.2's **Modified** scheme adds, unconditionally: (mod 1) a predicted
+operand counts as available, and (mod 2) a predicted operand counts as
+mapped in every cluster.  The paper found it performs no better than the
+Baseline because mod 2 indiscriminately trades communications for
+balance.
+
+§3.3's **VPB** scheme keeps mod 1 but applies mod 2 *only when the
+imbalance exceeds a second (lower) threshold*, so prediction is spent on
+balance only when balance is actually poor.
+
+Thresholds come from the paper: Baseline rule 1 uses DCOUNT=32 / 16 for
+4 / 2 clusters; VPB's mod-2 gate uses DCOUNT=16 / 8.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from .base import SourceView, Steerer
+from .metrics import DCountTracker
+
+__all__ = ["RMBSSteerer", "BaselineSteerer", "ModifiedSteerer", "VPBSteerer",
+           "default_balance_threshold", "default_vpb_threshold"]
+
+
+def default_balance_threshold(n_clusters: int) -> int:
+    """Paper's rule-1 threshold: 32 for 4 clusters, 16 for 2."""
+    return 8 * n_clusters
+
+
+def default_vpb_threshold(n_clusters: int) -> int:
+    """Paper's VPB mod-2 gate: 16 for 4 clusters, 8 for 2."""
+    return 4 * n_clusters
+
+
+class RMBSSteerer(Steerer):
+    """Parameterized Advanced-RMBS steering (see module docstring).
+
+    Args:
+        n_clusters: number of clusters.
+        balance_threshold: rule-1 imbalance threshold (``None`` uses the
+            paper's value for the cluster count).
+        use_mod1: treat predicted operands as available.
+        mod2_threshold: imbalance above which predicted operands count
+            as mapped everywhere.  ``None`` disables mod 2; ``-1`` makes
+            it unconditional (the §3.2 Modified scheme).
+    """
+
+    name = "rmbs"
+
+    def __init__(self, n_clusters: int,
+                 balance_threshold: Optional[int] = None,
+                 use_mod1: bool = False,
+                 mod2_threshold: Optional[int] = None) -> None:
+        super().__init__(n_clusters)
+        if balance_threshold is None:
+            balance_threshold = default_balance_threshold(n_clusters)
+        self.balance_threshold = balance_threshold
+        self.use_mod1 = use_mod1
+        self.mod2_threshold = mod2_threshold
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc: Optional[int] = None) -> int:
+        if self.n_clusters == 1:
+            return 0
+        imbalance = dcount.imbalance()
+        # Rule 1: correct a gross imbalance unconditionally.
+        if imbalance > self.balance_threshold:
+            return dcount.least_loaded()
+        mod2 = (self.mod2_threshold is not None
+                and imbalance > self.mod2_threshold)
+        candidates = self._communication_candidates(sources, mod2)
+        # Rule 3: least loaded among the candidates.
+        return dcount.least_loaded_among(candidates)
+
+    # -- rule 2 -----------------------------------------------------------------
+
+    def _communication_candidates(self, sources: Sequence[SourceView],
+                                  mod2: bool) -> List[int]:
+        pending_votes: Counter = Counter()
+        mapped_votes: Counter = Counter()
+        relevant = 0
+        mod2_applies = False
+        for src in sources:
+            predicted = src.predicted
+            available = src.available or (self.use_mod1 and predicted)
+            if mod2 and predicted:
+                # Mod 2: this operand constrains nothing.
+                mod2_applies = True
+                continue
+            relevant += 1
+            if not available:
+                # Rule 2.1: vote for the cluster producing it soonest.
+                if src.soonest_cluster is not None:
+                    pending_votes[src.soonest_cluster] += 1
+            else:
+                for cluster in src.mapped:
+                    mapped_votes[cluster] += 1
+        if pending_votes:
+            return self._argmax(pending_votes)
+        if relevant and mapped_votes:
+            return self._argmax(mapped_votes)
+        if relevant and not mapped_votes and not mod2_applies:
+            # Operands exist but none is mapped anywhere useful (only
+            # possible for always-available zero-register operands,
+            # which carry no mapping): no constraint.
+            return list(self.all_clusters())
+        # Rule 2.3 (no sources), or every operand released by mod 2.
+        return list(self.all_clusters())
+
+    @staticmethod
+    def _argmax(votes: Counter) -> List[int]:
+        best = max(votes.values())
+        return [cluster for cluster, count in votes.items() if count == best]
+
+
+class BaselineSteerer(RMBSSteerer):
+    """§3.1 Baseline: communication first, balance second (no VP use)."""
+
+    name = "baseline"
+
+    def __init__(self, n_clusters: int,
+                 balance_threshold: Optional[int] = None) -> None:
+        super().__init__(n_clusters, balance_threshold,
+                         use_mod1=False, mod2_threshold=None)
+
+
+class ModifiedSteerer(RMBSSteerer):
+    """§3.2 Modified: both VP modifications applied unconditionally."""
+
+    name = "modified"
+
+    def __init__(self, n_clusters: int,
+                 balance_threshold: Optional[int] = None) -> None:
+        super().__init__(n_clusters, balance_threshold,
+                         use_mod1=True, mod2_threshold=-1)
+
+
+class VPBSteerer(RMBSSteerer):
+    """§3.3 VPB: mod 1 always, mod 2 gated by the imbalance threshold."""
+
+    name = "vpb"
+
+    def __init__(self, n_clusters: int,
+                 balance_threshold: Optional[int] = None,
+                 vpb_threshold: Optional[int] = None) -> None:
+        if vpb_threshold is None:
+            vpb_threshold = default_vpb_threshold(n_clusters)
+        super().__init__(n_clusters, balance_threshold,
+                         use_mod1=True, mod2_threshold=vpb_threshold)

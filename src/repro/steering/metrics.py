@@ -1,0 +1,93 @@
+"""Workload-balance metrics: DCOUNT (drives steering) and NREADY (reported).
+
+§2.3.2 defines both.  **DCOUNT**: a signed counter per cluster; on every
+dispatch the chosen cluster's counter rises by N-1 and every other falls
+by 1, so each counter equals N times (instructions dispatched there -
+average per cluster) and their sum stays zero.  Steering uses the
+maximum absolute counter as the imbalance.  **NREADY**: the number of
+ready instructions that could not issue because their cluster's issue
+capacity was exhausted but idle capacity existed elsewhere; the paper
+*measures* imbalance with NREADY while *steering* with DCOUNT, and so do
+we.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["DCountTracker", "NReadyMeter"]
+
+
+class DCountTracker:
+    """The paper's DCOUNT workload counters."""
+
+    def __init__(self, n_clusters: int) -> None:
+        if n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.n_clusters = n_clusters
+        self.counters: List[int] = [0] * n_clusters
+
+    def dispatch(self, cluster: int) -> None:
+        """Account one instruction dispatched to *cluster*."""
+        n = self.n_clusters
+        counters = self.counters
+        for c in range(n):
+            counters[c] -= 1
+        counters[cluster] += n
+
+    def imbalance(self) -> int:
+        """Maximum absolute counter value (the steering imbalance figure)."""
+        return max(abs(c) for c in self.counters)
+
+    def least_loaded(self) -> int:
+        """Cluster with the minimum counter (ties break to the lowest id)."""
+        counters = self.counters
+        best = 0
+        for c in range(1, self.n_clusters):
+            if counters[c] < counters[best]:
+                best = c
+        return best
+
+    def least_loaded_among(self, candidates: Sequence[int]) -> int:
+        """Least-loaded cluster restricted to *candidates*."""
+        counters = self.counters
+        return min(candidates, key=lambda c: (counters[c], c))
+
+
+class NReadyMeter:
+    """Accumulates the per-cycle NREADY imbalance figure.
+
+    Each cycle the core reports, per cluster and per side (integer/fp),
+    how many *ready* instructions were left unissued by capacity limits
+    and how much idle issue capacity remained.  Ready-but-stuck work in
+    one cluster only counts when another cluster had idle capacity on
+    the same side; idle capacity is taken from clusters that had no
+    leftover of their own on that side (a cluster with leftover has, by
+    construction, no usable idle capacity there).
+    """
+
+    def __init__(self, n_clusters: int) -> None:
+        self.n_clusters = n_clusters
+        self.total = 0
+        self.cycles = 0
+
+    def record(self, leftover_int: Sequence[int], idle_int: Sequence[int],
+               leftover_fp: Sequence[int], idle_fp: Sequence[int]) -> None:
+        """Accumulate one cycle's measurement."""
+        self.cycles += 1
+        self.total += self._match(leftover_int, idle_int)
+        self.total += self._match(leftover_fp, idle_fp)
+
+    @staticmethod
+    def _match(leftover: Sequence[int], idle: Sequence[int]) -> int:
+        stuck = sum(leftover)
+        if not stuck:
+            return 0
+        usable_idle = sum(idle[c] for c in range(len(idle))
+                          if leftover[c] == 0)
+        return min(stuck, usable_idle)
+
+    @property
+    def average(self) -> float:
+        """Average NREADY per cycle — the paper's "workload imbalance"."""
+        return self.total / self.cycles if self.cycles else 0.0

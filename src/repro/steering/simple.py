@@ -1,0 +1,77 @@
+"""Reference steerers used as ablation baselines.
+
+These are not from the paper's evaluation but serve the related-work
+comparisons it discusses (§5): steering purely for balance (ignoring
+dependences, like trace-based partitioning tends to), steering purely by
+dependences (ignoring balance, like the dependence-based paradigm), and
+blind round-robin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from .base import SourceView, Steerer
+from .metrics import DCountTracker
+
+__all__ = ["RoundRobinSteerer", "BalanceOnlySteerer", "DependenceOnlySteerer"]
+
+
+class RoundRobinSteerer(Steerer):
+    """Dispatch to clusters cyclically; perfect count balance, blind to data.
+
+    The cursor advances on *dispatch*, not on ``choose``, so decode-stage
+    retries after structural stalls do not perturb the rotation.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, n_clusters: int) -> None:
+        super().__init__(n_clusters)
+        self._next = 0
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc=None) -> int:
+        return self._next
+
+    def notify_dispatch(self, cluster: int) -> None:
+        self._next = (self._next + 1) % self.n_clusters
+
+
+class BalanceOnlySteerer(Steerer):
+    """Always pick the least-loaded cluster (maximal balance pressure)."""
+
+    name = "balance-only"
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc=None) -> int:
+        return dcount.least_loaded()
+
+
+class DependenceOnlySteerer(Steerer):
+    """Follow operands only; ignore balance entirely.
+
+    Prefers the cluster producing a pending operand, then the cluster
+    with the most mapped operands; ties and no-operand cases fall back
+    to cluster 0, which concentrates work — exactly the failure mode
+    balance-aware steering exists to avoid.
+    """
+
+    name = "dependence-only"
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc=None) -> int:
+        pending: Counter = Counter()
+        mapped: Counter = Counter()
+        for src in sources:
+            if not src.available and src.soonest_cluster is not None:
+                pending[src.soonest_cluster] += 1
+            else:
+                for cluster in src.mapped:
+                    mapped[cluster] += 1
+        for votes in (pending, mapped):
+            if votes:
+                best = max(votes.values())
+                return min(c for c, v in votes.items() if v == best)
+        return 0

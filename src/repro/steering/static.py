@@ -1,0 +1,99 @@
+"""Profile-driven static code partitioning (§5's related-work foil).
+
+The paper argues (§2.3, §5) that static partitioning — assigning every
+*static* instruction to a fixed cluster at compile time, as Sastry,
+Palacharla & Smith did — is less effective than dynamic steering because
+all dynamic instances of an instruction land in the same cluster
+regardless of run-time conditions.  This module provides the strongest
+practical static scheme to test that claim against:
+
+* :func:`profile_static_assignment` plays the compiler: it profiles a
+  training trace, builds the static dependence graph weighted by
+  dynamic frequency, and greedily assigns each static instruction to
+  the cluster holding most of its producers, tie-breaking toward the
+  least-loaded cluster (by dynamic instruction count).
+* :class:`StaticSteerer` applies the resulting PC -> cluster map at
+  run time, falling back to least-loaded for unprofiled PCs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..isa.instruction import DynInst
+from ..isa.registers import ZERO_REG
+from .base import SourceView, Steerer
+from .metrics import DCountTracker
+
+__all__ = ["StaticSteerer", "profile_static_assignment"]
+
+
+def profile_static_assignment(trace: Iterable[DynInst],
+                              n_clusters: int) -> Dict[int, int]:
+    """Compute a static PC -> cluster assignment from a profiling run.
+
+    Greedy placement over static instructions in first-execution order:
+    each PC goes to the cluster that maximizes the dynamic frequency of
+    its register dependences already placed there, tie-breaking toward
+    the cluster with the least assigned dynamic work.
+    """
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    exec_count: Counter = Counter()
+    edge_weight: Dict[int, Counter] = defaultdict(Counter)
+    order: list = []
+    last_writer: Dict[int, int] = {}
+    for dyn in trace:
+        if dyn.pc not in exec_count:
+            order.append(dyn.pc)
+        exec_count[dyn.pc] += 1
+        for logical in dyn.srcs:
+            if logical == ZERO_REG:
+                continue
+            producer_pc = last_writer.get(logical)
+            if producer_pc is not None and producer_pc != dyn.pc:
+                edge_weight[dyn.pc][producer_pc] += 1
+        if dyn.dest is not None and dyn.dest != ZERO_REG:
+            last_writer[dyn.dest] = dyn.pc
+    assignment: Dict[int, int] = {}
+    cluster_work = [0] * n_clusters
+    for pc in order:
+        scores = [0] * n_clusters
+        for producer_pc, weight in edge_weight[pc].items():
+            home = assignment.get(producer_pc)
+            if home is not None:
+                scores[home] += weight
+        best_score = max(scores)
+        candidates = [c for c in range(n_clusters)
+                      if scores[c] == best_score]
+        chosen = min(candidates, key=lambda c: (cluster_work[c], c))
+        assignment[pc] = chosen
+        cluster_work[chosen] += exec_count[pc]
+    return assignment
+
+
+class StaticSteerer(Steerer):
+    """Fixed PC -> cluster steering (every dynamic instance co-located).
+
+    Args:
+        n_clusters: number of clusters.
+        assignment: PC -> cluster map (from
+            :func:`profile_static_assignment` or hand-built).
+    """
+
+    name = "static"
+
+    def __init__(self, n_clusters: int,
+                 assignment: Optional[Dict[int, int]] = None) -> None:
+        super().__init__(n_clusters)
+        self.assignment = dict(assignment or {})
+
+    def choose(self, sources: Sequence[SourceView],
+               dcount: DCountTracker, pc: Optional[int] = None) -> int:
+        cluster = self.assignment.get(pc)
+        if cluster is None:
+            # Unprofiled code: the hardware has no information, fall
+            # back to the least-loaded cluster.
+            return dcount.least_loaded()
+        return cluster % self.n_clusters

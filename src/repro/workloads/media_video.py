@@ -1,0 +1,63 @@
+"""Video-category Mediabench stand-in: mpeg2enc.
+
+MPEG-2 encoding is motion estimation (SAD over candidate blocks), the
+8x8 transform, quantization, and entropy coding — all integer, wide-ILP
+kernels with data-dependent branches in the search.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program, ProgramBuilder
+from . import kernels
+from .datagen import image_words
+
+__all__ = ["build_mpeg2enc"]
+
+_OUTER_REPS = 1_000_000
+
+#: Macroblock-pipeline instantiations (distinct static code).
+REPLICAS = 6
+
+#: Input datasets: like Mediabench's per-benchmark input files, each
+#: stand-in can run a second, differently seeded (and slightly larger)
+#: input to check input sensitivity.
+DATASET_OFFSETS = {"test": 0, "train": 5000}
+
+
+def _dataset_offset(dataset: str) -> int:
+    try:
+        return DATASET_OFFSETS[dataset]
+    except KeyError:
+        raise KeyError(f"unknown dataset {dataset!r}; choose from "
+                       f"{sorted(DATASET_OFFSETS)}") from None
+
+
+def build_mpeg2enc(dataset: str = "test") -> Program:
+    """Motion search -> transform -> quantize -> entropy scan."""
+    offset = _dataset_offset(dataset)
+    b = ProgramBuilder()
+    n = 64
+    cur = b.data("cur", image_words(111 + offset, n + 32))
+    ref = b.data("ref", image_words(112 + offset, n + 32))
+    diff = b.zeros("diff", n)
+    coef = b.zeros("coef", n)
+    qcoef = b.zeros("qcoef", n)
+    rtable = b.data("rtable", [16384 // ((i % 15) + 2)
+                               for i in range(16)])
+    hist = b.zeros("hist", 8)
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER_REPS)
+    b.label("main")
+    for rep in range(REPLICAS):
+        # Three candidate motion vectors (offset the reference pointer).
+        kernels.sad_motion(b, f"mv0_{rep}", ref, cur, n)
+        kernels.sad_motion(b, f"mv1_{rep}", ref + 4, cur, n)
+        kernels.sad_motion(b, f"mv2_{rep}", ref + 8, cur, n)
+        kernels.dct8_blocks(b, f"dct{rep}", cur, coef, n // 8)
+        kernels.quantize(b, f"qz{rep}", coef, rtable, qcoef, n, 16)
+        kernels.huffman_scan(b, f"hf{rep}", qcoef, hist, n)
+        kernels.memcpy_words(b, f"rec{rep}", qcoef, diff, n)
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()

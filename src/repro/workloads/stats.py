@@ -1,0 +1,60 @@
+"""Trace statistics: instruction-mix summaries of dynamic streams.
+
+Used by the Table 2 benchmark and handy for validating custom
+workloads against the media-code profile they are meant to imitate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+from ..isa.instruction import DynInst
+from ..isa.opcodes import OpClass
+
+__all__ = ["trace_statistics"]
+
+
+def trace_statistics(trace: Iterable[DynInst]) -> Dict[str, float]:
+    """Instruction-mix summary of a dynamic trace.
+
+    Returns counts and fractions: total instructions, loads, stores,
+    conditional branches (and their taken rate), fp operations, integer
+    multiplies/divides, plus the number of distinct static PCs touched.
+    """
+    total = 0
+    loads = stores = branches = taken = fp_ops = muls = divs = 0
+    pcs = set()
+    opcounts: Counter = Counter()
+    for dyn in trace:
+        total += 1
+        pcs.add(dyn.pc)
+        opcounts[dyn.op.name] += 1
+        if dyn.is_load:
+            loads += 1
+        elif dyn.is_store:
+            stores += 1
+        if dyn.is_cond_branch:
+            branches += 1
+            if dyn.taken:
+                taken += 1
+        opclass = dyn.opclass
+        if not dyn.op.is_int:
+            fp_ops += 1
+        if opclass is OpClass.IMUL:
+            muls += 1
+        elif opclass is OpClass.IDIV:
+            divs += 1
+    def frac(count):
+        return count / total if total else 0.0
+    return {
+        "instructions": total,
+        "static_pcs": len(pcs),
+        "loads": loads, "load_fraction": frac(loads),
+        "stores": stores, "store_fraction": frac(stores),
+        "branches": branches, "branch_fraction": frac(branches),
+        "branch_taken_rate": taken / branches if branches else 0.0,
+        "fp_ops": fp_ops, "fp_fraction": frac(fp_ops),
+        "int_muls": muls, "int_divs": divs,
+        "top_opcodes": dict(opcounts.most_common(8)),
+    }

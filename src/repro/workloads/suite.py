@@ -1,0 +1,120 @@
+"""The workload suite registry (the stand-in for Table 2).
+
+Maps every Mediabench program the paper evaluated to its synthetic
+stand-in, with the category and the paper's reported dynamic instruction
+count for reference.  :func:`workload_trace` executes a stand-in and
+caches the resulting dynamic trace so that the many configurations of a
+benchmark sweep replay the *identical* instruction stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.executor import FunctionalExecutor
+from ..isa.instruction import DynInst
+from ..isa.program import Program
+from .media_3d import build_mesamipmap, build_mesaosdemo, build_mesatexgen
+from .media_audio import (build_g721enc, build_gsmdec, build_gsmenc,
+                          build_rasta, build_rawcaudio)
+from .media_crypto import build_pgpdec, build_pgpenc
+from .media_image import (build_cjpeg, build_djpeg, build_epicdec,
+                          build_epicenc)
+from .media_video import build_mpeg2enc
+
+__all__ = ["WorkloadSpec", "SUITE", "workload_names", "build_workload",
+           "workload_trace", "clear_trace_cache", "DEFAULT_TRACE_LENGTH"]
+
+#: Default dynamic-trace length for experiments.  The paper ran 6M-440M
+#: instructions per benchmark on a C simulator; a Python cycle-level
+#: model needs reduced but steady-state-representative runs (every
+#: stand-in is periodic well below this length).
+DEFAULT_TRACE_LENGTH = 12_000
+
+
+class WorkloadSpec:
+    """One suite entry.
+
+    Attributes:
+        name: Mediabench program name (Table 2).
+        category: paper's workload category.
+        paper_minsts: dynamic instructions (millions) in Table 2.
+        builder: callable(dataset="test") returning the stand-in Program.
+    """
+
+    def __init__(self, name: str, category: str, paper_minsts: float,
+                 builder: Callable[[], Program]) -> None:
+        self.name = name
+        self.category = category
+        self.paper_minsts = paper_minsts
+        self.builder = builder
+
+    def __repr__(self) -> str:
+        return f"<WorkloadSpec {self.name} ({self.category})>"
+
+
+#: Table 2, in paper order.
+SUITE: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in [
+        WorkloadSpec("cjpeg", "image", 18.8, build_cjpeg),
+        WorkloadSpec("djpeg", "image", 6.0, build_djpeg),
+        WorkloadSpec("epicdec", "image", 11.1, build_epicdec),
+        WorkloadSpec("epicenc", "image", 70.6, build_epicenc),
+        WorkloadSpec("g721enc", "audio", 440.6, build_g721enc),
+        WorkloadSpec("gsmdec", "audio", 115.1, build_gsmdec),
+        WorkloadSpec("gsmenc", "audio", 307.1, build_gsmenc),
+        WorkloadSpec("mesamipmap", "3D graphics", 75.2, build_mesamipmap),
+        WorkloadSpec("mesaosdemo", "3D graphics", 29.7, build_mesaosdemo),
+        WorkloadSpec("mesatexgen", "3D graphics", 129.4, build_mesatexgen),
+        WorkloadSpec("mpeg2enc", "video", 222.0, build_mpeg2enc),
+        WorkloadSpec("pgpdec", "encryption", 108.6, build_pgpdec),
+        WorkloadSpec("pgpenc", "encryption", 130.6, build_pgpenc),
+        WorkloadSpec("rasta", "audio", 26.4, build_rasta),
+        WorkloadSpec("rawcaudio", "audio", 8.7, build_rawcaudio),
+    ]
+}
+
+
+def workload_names() -> List[str]:
+    """Suite names in Table 2 order."""
+    return list(SUITE.keys())
+
+
+def build_workload(name: str, dataset: str = "test") -> Program:
+    """Build the stand-in program for Mediabench benchmark *name*.
+
+    *dataset* selects the input ("test" or "train"), like Mediabench's
+    per-benchmark input files (Table 2's testimg.ppm, clinton.pcm, ...).
+    """
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; choose from "
+                       f"{workload_names()}") from None
+    return spec.builder(dataset=dataset)
+
+
+_trace_cache: Dict[Tuple[str, int, str], List[DynInst]] = {}
+
+
+def workload_trace(name: str,
+                   max_instructions: int = DEFAULT_TRACE_LENGTH,
+                   dataset: str = "test") -> List[DynInst]:
+    """The dynamic trace of *name*, cached per (name, length, dataset).
+
+    Reusing the cached list across simulator configurations keeps every
+    comparison on the exact same instruction stream, like the paper's
+    fixed binaries did.
+    """
+    key = (name, max_instructions, dataset)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        program = build_workload(name, dataset=dataset)
+        trace = list(FunctionalExecutor(program, max_instructions).run())
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _trace_cache.clear()

@@ -1,0 +1,175 @@
+"""Parametric microbenchmarks for unit tests and ablations.
+
+These isolate one microarchitectural behaviour each: serial dependence
+chains (no ILP), independent chains (pure ILP), predictable vs
+unpredictable value streams, branchy code, and memory streaming.  The
+core's unit tests use them to pin down latencies and the steering
+tests use them to force known communication patterns.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program, ProgramBuilder
+from .datagen import noise_words, ramp_words
+
+__all__ = ["serial_chain", "parallel_chains", "counted_loop",
+           "strided_stream", "random_branches", "store_load_pairs",
+           "fp_chain"]
+
+_OUTER = 1_000_000
+
+
+def serial_chain(length: int = 64) -> Program:
+    """One long add chain repeated forever — IPC should approach 1."""
+    b = ProgramBuilder()
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", 1)
+    b.label("main")
+    for _ in range(length):
+        b.emit("add", "r8", "r8", "r8")
+    b.emit("andi", "r8", "r8", 1023)
+    b.emit("addi", "r8", "r8", 1)
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def parallel_chains(chains: int = 8, length: int = 16) -> Program:
+    """*chains* independent add chains — IPC should approach the width."""
+    if chains > 20:
+        raise ValueError("at most 20 chains (register budget)")
+    b = ProgramBuilder()
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    for c in range(chains):
+        b.emit("li", f"r{8 + c}", c + 1)
+    b.label("main")
+    for _ in range(length):
+        for c in range(chains):
+            reg = f"r{8 + c}"
+            b.emit("add", reg, reg, reg)
+    for c in range(chains):
+        b.emit("andi", f"r{8 + c}", f"r{8 + c}", 255)
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def counted_loop(body_adds: int = 4) -> Program:
+    """A trivially predictable counted loop (stride-friendly values)."""
+    b = ProgramBuilder()
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", 0)
+    b.label("main")
+    for i in range(body_adds):
+        b.emit("addi", f"r{9 + i}", "r1", i)
+    b.emit("add", "r8", "r8", "r1")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def strided_stream(nwords: int = 1024) -> Program:
+    """Streaming loads over a cyclic buffer — cache and stride behaviour."""
+    b = ProgramBuilder()
+    base = b.data("buf", ramp_words(0, nwords))
+    end = base + 4 * nwords
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", base)
+    b.emit("li", "r9", end)
+    b.emit("li", "r10", 0)
+    b.label("main")
+    b.emit("lw", "r11", "r8", 0)
+    b.emit("add", "r10", "r10", "r11")
+    b.emit("addi", "r8", "r8", 4)
+    b.emit("blt", "r8", "r9", "skip")
+    b.emit("li", "r8", base)
+    b.label("skip")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def random_branches(nvalues: int = 1024) -> Program:
+    """Branches on pseudo-random data — stresses the branch predictor."""
+    b = ProgramBuilder()
+    base = b.data("vals", noise_words(171, nvalues, bits=8))
+    end = base + 4 * nvalues
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", base)
+    b.emit("li", "r10", 0)
+    b.emit("li", "r11", 0)
+    b.emit("li", "r9", end)
+    b.label("main")
+    b.emit("lw", "r12", "r8", 0)
+    b.emit("andi", "r13", "r12", 1)
+    b.emit("beq", "r13", "r0", "even")
+    b.emit("addi", "r10", "r10", 1)
+    b.emit("j", "next")
+    b.label("even")
+    b.emit("addi", "r11", "r11", 1)
+    b.label("next")
+    b.emit("addi", "r8", "r8", 4)
+    b.emit("blt", "r8", "r9", "cont")
+    b.emit("li", "r8", base)
+    b.label("cont")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def store_load_pairs(nwords: int = 256) -> Program:
+    """Store-then-load at the same address — forwarding/disambiguation."""
+    b = ProgramBuilder()
+    base = b.data("buf", ramp_words(0, nwords))
+    end = base + 4 * nwords
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", base)
+    b.emit("li", "r9", end)
+    b.label("main")
+    b.emit("lw", "r10", "r8", 0)
+    b.emit("addi", "r10", "r10", 3)
+    b.emit("sw", "r10", "r8", 0)
+    b.emit("lw", "r11", "r8", 0)
+    b.emit("add", "r12", "r11", "r10")
+    b.emit("addi", "r8", "r8", 4)
+    b.emit("blt", "r8", "r9", "skip")
+    b.emit("li", "r8", base)
+    b.label("skip")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()
+
+
+def fp_chain(length: int = 16) -> Program:
+    """A serial fp add chain — exercises the fp side and never benefits
+    from value prediction (fp operands are not predicted).
+
+    The accumulator carries across iterations, so the chain stays serial
+    through the whole run (no inter-iteration overlap).
+    """
+    b = ProgramBuilder()
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", _OUTER)
+    b.emit("li", "r8", 3)
+    b.emit("cvtif", "f8", "r8")
+    b.emit("li", "r8", 1)
+    b.emit("cvtif", "f9", "r8")
+    b.label("main")
+    for _ in range(length):
+        b.emit("fadd", "f9", "f9", "f8")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "main")
+    b.emit("halt")
+    return b.build()

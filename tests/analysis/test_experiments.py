@@ -1,0 +1,83 @@
+"""Smoke tests of the experiment drivers on a tiny workload subset.
+
+These verify the drivers' plumbing (shapes, keys, env overrides) —
+the figure-level shape assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis import (Figure2Result, run_ablation_rename2,
+                            run_figure2, run_figure4_bandwidth,
+                            run_figure4_latency, run_figure5, run_headline,
+                            run_one, selected_workloads, trace_length)
+
+TINY = ["rawcaudio"]
+LEN = 2500
+
+
+class TestEnvKnobs:
+    def test_trace_length_default_and_override(self, monkeypatch):
+        assert trace_length() == 12_000
+        monkeypatch.setenv("REPRO_TRACE_LEN", "777")
+        assert trace_length() == 777
+
+    def test_selected_workloads_default_is_suite(self):
+        assert len(selected_workloads()) == 15
+
+    def test_selected_workloads_subset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "cjpeg, pgpenc")
+        assert selected_workloads() == ["cjpeg", "pgpenc"]
+
+    def test_selected_workloads_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "nope")
+        with pytest.raises(ValueError, match="nope"):
+            selected_workloads()
+
+
+class TestRunOne:
+    def test_returns_simresult(self):
+        result = run_one("rawcaudio", 1, length=LEN)
+        assert result.stats.committed_insts == LEN
+
+    def test_overrides_reach_config(self):
+        result = run_one("rawcaudio", 4, predictor="stride",
+                         steering="vpb", length=LEN, comm_latency=2)
+        assert result.config.comm_latency == 2
+
+
+class TestDrivers:
+    def test_figure2_shape(self):
+        result = run_figure2(workloads=TINY, length=LEN)
+        assert set(result.ipc) == set(TINY)
+        assert set(result.ipc[TINY[0]]) == set(Figure2Result.CONFIGS)
+        assert result.average((1, False)) > 0
+        assert isinstance(result.prediction_gain_pct(4), float)
+
+    def test_figure4_latency_monotone_keys(self):
+        result = run_figure4_latency(workloads=TINY, length=LEN,
+                                     latencies=(1, 4))
+        assert set(result.ipc) == {(2, False), (2, True), (4, False),
+                                   (4, True)}
+        series = result.ipc[(4, False)]
+        assert series[1] >= series[4]
+
+    def test_figure4_bandwidth_unbounded_key(self):
+        result = run_figure4_bandwidth(workloads=TINY, length=LEN,
+                                       bandwidths=(1, None))
+        assert "unbounded" in result.ipc[(2, True)]
+
+    def test_figure5_accuracy_fields(self):
+        result = run_figure5(workloads=TINY, length=LEN,
+                             sizes=(1024, 4096))
+        assert set(result.ipc) == {1024, 4096}
+        for size in (1024, 4096):
+            assert 0 <= result.confident_fraction[size] <= 1
+            assert 0 <= result.hit_ratio[size] <= 1
+
+    def test_ablation_rename2_rows(self):
+        result = run_ablation_rename2(workloads=TINY, length=LEN)
+        assert set(result.rows) == {"rename-1-cycle", "rename-2-cycle"}
+
+    def test_headline_metrics_complete(self):
+        result = run_headline(workloads=TINY, length=LEN)
+        assert set(result.measured) == set(result.paper)

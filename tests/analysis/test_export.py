@@ -1,0 +1,62 @@
+"""Tests for the JSON/CSV exporters."""
+
+import csv
+import io
+import json
+
+from repro.analysis import (ablation_rows, figure2_rows, figure5_rows,
+                            headline_rows, run_figure2, run_figure5,
+                            scaling_rows, to_csv, to_json)
+from repro.analysis.experiments import (AblationResult, HeadlineResult,
+                                        ScalingResult)
+
+TINY = ["rawcaudio"]
+LEN = 1500
+
+
+def test_figure2_long_format():
+    rows = figure2_rows(run_figure2(TINY, LEN))
+    assert len(rows) == 6    # one benchmark x six configs
+    assert {row["clusters"] for row in rows} == {1, 2, 4}
+    assert all(row["ipc"] > 0 for row in rows)
+
+
+def test_figure5_rows_ordered():
+    rows = figure5_rows(run_figure5(TINY, LEN, sizes=(256, 1024)))
+    assert [row["entries"] for row in rows] == [256, 1024]
+
+
+def test_ablation_and_headline_and_scaling_rows():
+    ablation = AblationResult()
+    ablation.rows["a"] = {"ipc": 1.0}
+    assert ablation_rows(ablation) == [{"scheme": "a", "ipc": 1.0}]
+    headline = HeadlineResult()
+    headline.measured = {key: 0.0 for key in headline.paper}
+    assert len(headline_rows(headline)) == len(headline.paper)
+    scaling = ScalingResult([1])
+    scaling.ipc = {(1, False): 3.0, (1, True): 3.1}
+    scaling.ipcr = {(1, False): 1.0, (1, True): 1.0}
+    scaling.comm = {(1, False): 0.0, (1, True): 0.0}
+    assert len(scaling_rows(scaling)) == 2
+
+
+def test_json_roundtrip(tmp_path):
+    rows = [{"a": 1, "b": "x"}]
+    path = tmp_path / "out.json"
+    text = to_json(rows, str(path))
+    assert json.loads(text) == rows
+    assert json.loads(path.read_text()) == rows
+
+
+def test_csv_union_of_keys(tmp_path):
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    path = tmp_path / "out.csv"
+    text = to_csv(rows, str(path))
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed[0]["a"] == "1"
+    assert parsed[1]["b"] == "3"
+    assert path.read_text() == text
+
+
+def test_csv_empty_safe():
+    assert to_csv([]) == ""

@@ -1,0 +1,28 @@
+"""Tests for the aggregate-metric helpers."""
+
+import pytest
+
+from repro.analysis import ipcr, mean, pct_change, suite_mean
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2
+    assert mean([]) == 0.0
+
+
+def test_ipcr():
+    assert ipcr(3.0, 4.0) == pytest.approx(0.75)
+    assert ipcr(3.0, 0.0) == 0.0
+
+
+def test_pct_change():
+    assert pct_change(0.65, 0.77) == pytest.approx(18.46, abs=0.01)
+    assert pct_change(4.0, 2.0) == -50.0
+    assert pct_change(0.0, 5.0) == 0.0
+
+
+def test_suite_mean_with_subset():
+    data = {"a": 1.0, "b": 3.0, "c": 5.0}
+    assert suite_mean(data) == 3.0
+    assert suite_mean(data, subset=["a", "c"]) == 3.0
+    assert suite_mean(data, subset=["b"]) == 3.0

@@ -1,0 +1,51 @@
+"""Tests of the ASCII report rendering."""
+
+from repro.analysis import (Figure2Result, bar, format_figure2,
+                            format_figure5, format_headline, table)
+from repro.analysis.experiments import Figure5Result, HeadlineResult
+
+
+def test_table_alignment_and_rule():
+    text = table(["name", "value"], [["a", 1], ["long-name", 22]],
+                 title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1   # every row padded to the same width
+
+
+def test_bar_scaling():
+    assert bar(5, 10, width=10) == "#####"
+    assert bar(10, 10, width=10) == "#" * 10
+    assert bar(0, 10, width=10) == ""
+    assert bar(20, 10, width=10) == "#" * 10   # clamped
+    assert bar(1, 0) == ""
+
+
+def test_format_figure2_includes_average_row():
+    result = Figure2Result()
+    result.ipc["bench"] = {key: 1.0 for key in Figure2Result.CONFIGS}
+    text = format_figure2(result)
+    assert "AVERAGE" in text
+    assert "bench" in text
+    assert "paper" in text
+
+
+def test_format_figure5_reports_degradation():
+    result = Figure5Result([1024, 131072])
+    result.ipc = {1024: 2.8, 131072: 2.9}
+    result.confident_fraction = {1024: 0.55, 131072: 0.6}
+    result.hit_ratio = {1024: 0.9, 131072: 0.93}
+    text = format_figure5(result)
+    assert "1K" in text and "128K" in text
+    assert "degradation" in text
+
+
+def test_format_headline_pairs_paper_and_measured():
+    result = HeadlineResult()
+    result.measured = {key: 0.5 for key in result.paper}
+    text = format_headline(result)
+    assert "ipcr4_vpb" in text
+    assert "paper" in text and "measured" in text

@@ -1,0 +1,77 @@
+"""Property-based tests of the FU pool's per-cycle accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import FUPool
+from repro.isa.opcodes import OpClass
+
+INT_OPS = [OpClass.IALU, OpClass.IMUL, OpClass.IDIV, OpClass.LOAD,
+           OpClass.STORE]
+FP_OPS = [OpClass.FALU, OpClass.FMUL, OpClass.FDIV]
+
+
+@st.composite
+def pool_configs(draw):
+    int_units = draw(st.integers(1, 8))
+    fp_units = draw(st.integers(1, 4))
+    return dict(
+        int_units=int_units,
+        int_muldiv=draw(st.integers(1, int_units)),
+        fp_units=fp_units,
+        fp_muldiv=draw(st.integers(1, fp_units)),
+        int_width=draw(st.integers(1, 8)),
+        fp_width=draw(st.integers(1, 4)))
+
+
+@settings(max_examples=60)
+@given(config=pool_configs(),
+       requests=st.lists(st.sampled_from(INT_OPS + FP_OPS), max_size=40))
+def test_single_cycle_never_exceeds_any_limit(config, requests):
+    pool = FUPool(**config)
+    pool.begin_cycle(0)
+    granted = [op for op in requests if pool.try_issue(op)]
+    int_granted = [op for op in granted if op in INT_OPS]
+    fp_granted = [op for op in granted if op in FP_OPS]
+    assert len(int_granted) <= min(config["int_width"],
+                                   config["int_units"])
+    assert len(fp_granted) <= min(config["fp_width"], config["fp_units"])
+    muldiv = [op for op in int_granted
+              if op in (OpClass.IMUL, OpClass.IDIV)]
+    assert len(muldiv) <= config["int_muldiv"]
+    fpmuldiv = [op for op in fp_granted
+                if op in (OpClass.FMUL, OpClass.FDIV)]
+    assert len(fpmuldiv) <= config["fp_muldiv"]
+
+
+@settings(max_examples=40)
+@given(config=pool_configs(),
+       cycles=st.lists(st.lists(st.sampled_from(INT_OPS + FP_OPS),
+                                max_size=12), min_size=2, max_size=10))
+def test_idle_capacity_consistent_across_cycles(config, cycles):
+    pool = FUPool(**config)
+    for cycle, requests in enumerate(cycles):
+        pool.begin_cycle(cycle)
+        assert pool.idle_capacity(True) <= min(config["int_width"],
+                                               config["int_units"])
+        assert pool.idle_capacity(False) <= min(config["fp_width"],
+                                                config["fp_units"])
+        for op in requests:
+            pool.try_issue(op)
+        assert pool.idle_capacity(True) >= 0
+        assert pool.idle_capacity(False) >= 0
+
+
+@settings(max_examples=30)
+@given(config=pool_configs(), divs=st.integers(1, 6))
+def test_divides_eventually_all_issue(config, divs):
+    """Non-pipelined divides serialize but never wedge the pool."""
+    pool = FUPool(**config, latencies={OpClass.IDIV: 5})
+    remaining = divs
+    for cycle in range(divs * 6 + 10):
+        pool.begin_cycle(cycle)
+        while remaining and pool.try_issue(OpClass.IDIV):
+            remaining -= 1
+        if not remaining:
+            break
+    assert remaining == 0

@@ -1,0 +1,80 @@
+"""Unit tests for the age-ordered issue queue."""
+
+import pytest
+
+from repro.cluster import IssueQueue
+
+
+class FakeUop:
+    def __init__(self, order):
+        self.order = order
+
+    def __repr__(self):
+        return f"U{self.order}"
+
+
+def orders(queue):
+    return [u.order for u in queue]
+
+
+def test_dispatch_preserves_arrival_order():
+    queue = IssueQueue(4)
+    for i in (1, 2, 5):
+        queue.dispatch(FakeUop(i))
+    assert orders(queue) == [1, 2, 5]
+
+
+def test_capacity_gates_new_dispatches():
+    queue = IssueQueue(2)
+    queue.dispatch(FakeUop(1))
+    assert queue.has_space and queue.space_left() == 1
+    queue.dispatch(FakeUop(2))
+    assert not queue.has_space and queue.space_left() == 0
+
+
+def test_reinsert_restores_age_position():
+    queue = IssueQueue(8)
+    uops = [FakeUop(i) for i in range(5)]
+    for uop in uops:
+        queue.dispatch(uop)
+    queue.remove(uops[2])
+    queue.dispatch(FakeUop(10))
+    queue.reinsert(uops[2])
+    assert orders(queue) == [0, 1, 2, 3, 4, 10]
+
+
+def test_reinsert_may_exceed_capacity():
+    """Reissue re-entry bypasses the capacity check (§2.2: no extra
+    restart penalty — the paper's selective reissue reuses the normal
+    issue mechanism)."""
+    queue = IssueQueue(2)
+    a, b = FakeUop(0), FakeUop(1)
+    queue.dispatch(a)
+    queue.dispatch(b)
+    queue.remove(a)
+    queue.dispatch(FakeUop(2))
+    queue.reinsert(a)
+    assert len(queue) == 3
+    assert not queue.has_space
+    assert orders(queue) == [0, 1, 2]
+
+
+def test_remove_many():
+    queue = IssueQueue(8)
+    uops = [FakeUop(i) for i in range(6)]
+    for uop in uops:
+        queue.dispatch(uop)
+    queue.remove_many([uops[0], uops[3], uops[5]])
+    assert orders(queue) == [1, 2, 4]
+
+
+def test_remove_many_empty_noop():
+    queue = IssueQueue(2)
+    queue.dispatch(FakeUop(1))
+    queue.remove_many([])
+    assert len(queue) == 1
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        IssueQueue(0)

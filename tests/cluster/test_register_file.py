@@ -1,0 +1,44 @@
+"""Unit tests for the register-file ready-time scoreboard."""
+
+import pytest
+
+from repro.cluster import NEVER, RegisterFile
+
+
+def test_initially_never_ready():
+    rf = RegisterFile(4)
+    assert not rf.is_ready(0, 10**9)
+    assert rf.ready_cycle(0) == NEVER
+
+
+def test_set_ready_semantics():
+    rf = RegisterFile(4)
+    rf.set_ready(1, 5)
+    assert not rf.is_ready(1, 4)
+    assert rf.is_ready(1, 5)
+    assert rf.is_ready(1, 6)
+
+
+def test_set_pending_records_producer():
+    rf = RegisterFile(4)
+    producer = object()
+    rf.set_pending(2, producer)
+    assert rf.producer[2] is producer
+    assert not rf.is_ready(2, 100)
+    rf.set_ready(2, 7)
+    assert rf.is_ready(2, 7)
+    assert rf.producer[2] is producer   # producer survives until commit
+
+
+def test_clear_resets_both_fields():
+    rf = RegisterFile(4)
+    rf.set_pending(3, object())
+    rf.set_ready(3, 1)
+    rf.clear(3)
+    assert rf.producer[3] is None
+    assert rf.ready_cycle(3) == NEVER
+
+
+def test_size_validated():
+    with pytest.raises(ValueError):
+        RegisterFile(0)

@@ -1,0 +1,157 @@
+"""Clustered-specific timing: copy costs, bus latency, bandwidth limits.
+
+Round-robin steering makes cluster assignment deterministic, so a serial
+chain alternates clusters and every dependence hop pays the full copy
+path: +1 cycle for the copy node plus the bus latency (§2.1: "since a
+copy instruction makes the dependence chain one node longer, it
+increases by one cycle the total effective latency between the producer
+and the remote dependent instruction (in addition to the bus latency)").
+"""
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.isa import ProgramBuilder, execute
+from repro.workloads import synthetic
+
+
+def serial_cross_cluster_trace(n_ops=400):
+    b = ProgramBuilder()
+    b.emit("li", "r1", 1)
+    b.emit("li", "r6", 0)
+    b.emit("li", "r7", 40)
+    b.label("loop")
+    for _ in range(10):
+        b.emit("add", "r1", "r1", "r1")
+    b.emit("andi", "r1", "r1", 255)
+    b.emit("ori", "r1", "r1", 1)
+    b.emit("addi", "r6", "r6", 1)
+    b.emit("blt", "r6", "r7", "loop")
+    b.emit("halt")
+    return execute(b.build(), n_ops + 200)
+
+
+class TestCopyLatency:
+    def test_round_robin_chain_pays_copy_plus_bus(self):
+        """Alternating clusters turns a 1-cycle link into 1+1+L."""
+        trace = serial_cross_cluster_trace()
+        local = simulate(list(trace), make_config(1)).stats.cycles
+        remote = simulate(list(trace),
+                          make_config(2, steering="round-robin")).stats.cycles
+        # every chain link gains ~2 cycles (copy +1, bus +1)
+        assert remote > 1.8 * local
+
+    def test_bus_latency_scales_chain_cost(self):
+        trace = serial_cross_cluster_trace()
+        cycles = {}
+        for latency in (1, 3):
+            config = make_config(2, steering="round-robin",
+                                 comm_latency=latency)
+            cycles[latency] = simulate(list(trace), config).stats.cycles
+        links = sum(1 for d in trace if d.op.name == "add")
+        per_link = (cycles[3] - cycles[1]) / links
+        assert 1.5 <= per_link <= 2.5   # ~2 extra cycles per hop
+
+    def test_copies_commit_and_count(self):
+        trace = serial_cross_cluster_trace()
+        result = simulate(list(trace),
+                          make_config(2, steering="round-robin"))
+        stats = result.stats
+        assert stats.dispatched_copies > 200
+        assert stats.committed_copies == stats.dispatched_copies
+        assert stats.communications >= stats.dispatched_copies
+
+
+class TestBandwidthLimits:
+    def test_single_path_rejections_recorded(self):
+        from repro.core.processor import Processor
+        trace = execute(synthetic.parallel_chains(8, 16), 8_000)
+        processor = Processor(
+            make_config(4, comm_paths_per_cluster=1,
+                        steering="round-robin"), iter(list(trace)))
+        processor.run()
+        # Heavy scatter on one path per cluster must hit the limit.
+        assert processor.interconnect.rejected > 0
+
+    def test_bandwidth_only_slows_never_breaks(self):
+        trace = execute(synthetic.parallel_chains(8, 16), 8_000)
+        unbounded = simulate(list(trace),
+                             make_config(4, steering="round-robin"))
+        limited = simulate(
+            list(trace), make_config(4, steering="round-robin",
+                                     comm_paths_per_cluster=1))
+        assert limited.stats.committed_insts == len(trace)
+        assert limited.ipc <= unbounded.ipc + 0.01
+
+    def test_sane_steering_barely_needs_bandwidth(self):
+        """Figure 4(b)'s punchline: with the real steering heuristic one
+        path per cluster costs little."""
+        trace = execute(synthetic.parallel_chains(8, 16), 8_000)
+        unbounded = simulate(list(trace), make_config(4))
+        limited = simulate(list(trace),
+                           make_config(4, comm_paths_per_cluster=1))
+        assert limited.ipc > 0.9 * unbounded.ipc
+
+
+class TestVPBridgesTheWire:
+    def test_prediction_beats_copies_on_round_robin_chain(self):
+        """A stride-predictable chain scattered by round-robin steering:
+        value prediction replaces almost every copy with a correct,
+        communication-free verification-copy."""
+        trace = execute(synthetic.counted_loop(4), 8_000)
+        plain = simulate(list(trace), make_config(2,
+                                                  steering="round-robin"))
+        predicted = simulate(
+            list(trace), make_config(2, steering="round-robin",
+                                     predictor="stride"))
+        assert predicted.comm_per_inst < 0.6 * plain.comm_per_inst
+        assert predicted.ipc > plain.ipc
+
+    def test_vcopies_in_producer_cluster_commit(self):
+        trace = execute(synthetic.counted_loop(4), 8_000)
+        result = simulate(
+            list(trace), make_config(2, steering="round-robin",
+                                     predictor="stride"))
+        stats = result.stats
+        assert stats.dispatched_vcopies > 0
+        assert stats.committed_vcopies == stats.dispatched_vcopies
+
+
+class TestRenameDepthKnob:
+    @pytest.mark.parametrize("extra", [0, 1, 2])
+    def test_deeper_rename_monotonically_slower_or_equal(self, extra):
+        trace = execute(synthetic.counted_loop(4), 6_000)
+        result = simulate(list(trace),
+                          make_config(4, extra_rename_cycles=extra))
+        assert result.stats.committed_insts == len(trace)
+
+    def test_depth_ordering(self):
+        trace = execute(synthetic.random_branches(512), 8_000)
+        cycles = [simulate(list(trace),
+                           make_config(4, extra_rename_cycles=extra)
+                           ).stats.cycles
+                  for extra in (0, 2)]
+        # Mispredict-heavy code pays for a deeper front end.
+        assert cycles[1] > cycles[0]
+
+
+class TestFreeCopyIssue:
+    def test_free_copies_never_slower(self):
+        trace = serial_cross_cluster_trace()
+        paper = simulate(list(trace),
+                         make_config(2, steering="round-robin"))
+        free = simulate(list(trace),
+                        make_config(2, steering="round-robin",
+                                    free_copy_issue=True))
+        assert free.stats.committed_insts == paper.stats.committed_insts
+        assert free.stats.cycles <= paper.stats.cycles
+
+    def test_free_copies_keep_wire_latency(self):
+        """§2.1 extension removes the width cost, not the bus latency:
+        a cross-cluster chain still pays per hop."""
+        trace = serial_cross_cluster_trace()
+        local = simulate(list(trace), make_config(1)).stats.cycles
+        free = simulate(list(trace),
+                        make_config(2, steering="round-robin",
+                                    free_copy_issue=True)).stats.cycles
+        assert free > 1.5 * local

@@ -1,0 +1,51 @@
+"""End-to-end checks of the NREADY imbalance measurement (§2.3.2)."""
+
+from repro.core import make_config, simulate
+from repro.isa import execute
+from repro.workloads import synthetic, workload_trace
+
+
+def test_concentrating_steering_measures_worse_imbalance():
+    """Dependence-only steering famously ignores balance; NREADY must
+    expose that relative to the balance-aware baseline."""
+    trace = execute(synthetic.parallel_chains(8, 16), 8_000)
+    concentrated = simulate(list(trace),
+                            make_config(4, steering="dependence-only"))
+    balanced = simulate(list(trace), make_config(4))
+    assert concentrated.imbalance > balanced.imbalance
+
+
+def test_round_robin_balances_counts():
+    """Round-robin spreads dispatches evenly across clusters."""
+    trace = workload_trace("cjpeg", 6000)
+    result = simulate(list(trace), make_config(4, steering="round-robin"))
+    counts = result.stats.dispatch_per_cluster
+    assert max(counts) - min(counts) <= 1
+
+
+def test_single_cluster_has_zero_imbalance():
+    trace = workload_trace("cjpeg", 4000)
+    result = simulate(list(trace), make_config(1))
+    assert result.imbalance == 0.0
+
+
+def test_dcount_threshold_bounds_dispatch_skew():
+    """Rule 1 caps how far apart the per-cluster dispatch counts drift."""
+    trace = workload_trace("gsmdec", 8000)
+    result = simulate(list(trace), make_config(4))
+    counts = result.stats.dispatch_per_cluster
+    total = sum(counts)
+    # DCOUNT threshold 32 = at most 8 instructions of drift at any
+    # moment; by the end of a long run the shares must be close.
+    assert max(counts) - min(counts) < 0.15 * total
+
+
+def test_imbalance_nonnegative_everywhere():
+    for name in ("cjpeg", "mesaosdemo", "pgpenc"):
+        trace = workload_trace(name, 3000)
+        for steering in ("baseline", "vpb", "round-robin"):
+            predictor = "stride" if steering == "vpb" else "none"
+            result = simulate(list(trace),
+                              make_config(2, predictor=predictor,
+                                          steering=steering))
+            assert result.imbalance >= 0.0

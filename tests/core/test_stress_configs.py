@@ -1,0 +1,118 @@
+"""Stress tests: pathologically small structures must still drain.
+
+The core's stall logic (ROB, issue queues, free lists, fetch buffer,
+interconnect paths) is exercised hardest when every structure is at its
+minimum — any accounting slip shows up as a deadlock (caught by the
+watchdog) or a lost instruction (caught by the commit count).
+"""
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.workloads import synthetic, workload_trace
+from repro.isa import execute
+
+TRACE_LEN = 1500
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_trace("cjpeg", TRACE_LEN)
+
+
+class TestTinyStructures:
+    @pytest.mark.parametrize("overrides", [
+        dict(rob_size=8),
+        dict(rob_size=4),
+        dict(iq_size=2),
+        dict(fetch_buffer=1),
+        dict(decode_width=1),
+        dict(retire_width=1),
+        dict(int_issue_width=1, fp_issue_width=1),
+        dict(dcache_ports=1),
+        dict(rob_size=8, iq_size=2, fetch_buffer=2, decode_width=1),
+    ])
+    def test_minimum_structures_drain(self, trace, overrides):
+        config = make_config(4, predictor="stride", steering="vpb",
+                             **overrides)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == TRACE_LEN
+        assert result.ipc > 0
+
+    def test_rob_too_small_for_copies_never_wedges(self, trace):
+        """ROB of 4 must fit 1 instruction + its copies; a 2-source
+        instruction needing 2 copies requires 3 slots — still < 4."""
+        config = make_config(4, rob_size=4)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == TRACE_LEN
+
+    def test_tiny_everything_is_just_slow(self, trace):
+        big = simulate(list(trace), make_config(4)).stats.cycles
+        small = simulate(list(trace),
+                         make_config(4, rob_size=8, iq_size=2,
+                                     fetch_buffer=2)).stats.cycles
+        assert small > big
+
+
+class TestExtremeInterconnect:
+    def test_very_long_latency_drains(self, trace):
+        config = make_config(4, comm_latency=32)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == TRACE_LEN
+
+    def test_long_latency_with_speculation_drains(self, trace):
+        config = make_config(4, comm_latency=16, predictor="stride",
+                             steering="vpb")
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == TRACE_LEN
+
+    def test_one_path_with_long_latency(self, trace):
+        config = make_config(4, comm_latency=8, comm_paths_per_cluster=1)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == TRACE_LEN
+
+    def test_latency_monotonically_costs_cycles(self, trace):
+        cycles = [simulate(list(trace),
+                           make_config(4, comm_latency=lat)).stats.cycles
+                  for lat in (1, 8, 32)]
+        assert cycles[0] < cycles[1] < cycles[2]
+
+
+class TestExtremeLatencies:
+    def test_slow_divides_stall_but_drain(self):
+        from repro.isa.opcodes import OpClass
+        trace = workload_trace("g721enc", 1200)
+        config = make_config(4, latencies={OpClass.IDIV: 64})
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == 1200
+
+    def test_single_cycle_everything(self):
+        from repro.isa.opcodes import OpClass
+        trace = workload_trace("cjpeg", 1500)
+        fast = make_config(4, latencies={klass: 1 for klass in OpClass})
+        result = simulate(list(trace), fast)
+        baseline = simulate(list(trace), make_config(4))
+        assert result.stats.cycles <= baseline.stats.cycles
+
+
+class TestSpeculationUnderPressure:
+    def test_tiny_rob_with_heavy_misprediction(self):
+        trace = execute(synthetic.random_branches(512), 4000)
+        config = make_config(4, rob_size=8, predictor="stride",
+                             steering="vpb")
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == len(trace)
+
+    def test_naive_predictor_update_under_pressure(self):
+        trace = workload_trace("gsmdec", 1500)
+        config = make_config(4, predictor="stride", steering="vpb",
+                             vp_two_delta=False, iq_size=2, rob_size=16)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == 1500
+
+    def test_modified_scheme_with_tight_interconnect(self):
+        trace = workload_trace("mpeg2enc", 1500)
+        config = make_config(4, predictor="stride", steering="modified",
+                             comm_paths_per_cluster=1, comm_latency=4)
+        result = simulate(list(trace), config)
+        assert result.stats.committed_insts == 1500

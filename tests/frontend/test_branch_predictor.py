@@ -1,0 +1,108 @@
+"""Unit tests for the direction predictors (bimodal, gshare, combined)."""
+
+import random
+
+from repro.frontend import (BimodalPredictor, CombinedPredictor,
+                            GsharePredictor, TakenPredictor)
+
+
+def train(predictor, pc, outcomes):
+    hits = 0
+    for taken in outcomes:
+        if predictor.predict(pc) == taken:
+            hits += 1
+        predictor.update(pc, taken)
+    return hits / len(outcomes)
+
+
+class TestBimodal:
+    def test_learns_constant_bias(self):
+        predictor = BimodalPredictor(64)
+        accuracy = train(predictor, 0x1000, [True] * 50)
+        assert accuracy > 0.9
+
+    def test_hysteresis_survives_single_flip(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x1000, True)
+        predictor.update(0x1000, False)   # one not-taken
+        assert predictor.predict(0x1000) is True
+
+    def test_counter_saturates_both_ends(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(10):
+            predictor.update(0x1000, False)
+        assert predictor.predict(0x1000) is False
+        for _ in range(2):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000) is True
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x1000, True)
+            predictor.update(0x1004, False)
+        assert predictor.predict(0x1000) is True
+        assert predictor.predict(0x1004) is False
+
+    def test_stats_count_mispredictions(self):
+        predictor = BimodalPredictor(64)
+        train(predictor, 0x1000, [True, True, False, True])
+        assert predictor.stats.lookups == 4
+        assert 0 < predictor.stats.accuracy <= 1
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N... correlates perfectly with 1 bit of history.
+        predictor = GsharePredictor(1024, history_bits=8)
+        pattern = [bool(i % 2) for i in range(200)]
+        accuracy = train(predictor, 0x2000, pattern)
+        assert accuracy > 0.8
+
+    def test_history_updates(self):
+        predictor = GsharePredictor(1024, history_bits=4)
+        for taken in (True, False, True, True):
+            predictor.update(0x2000, taken)
+        assert predictor.history == 0b1011
+
+
+class TestCombined:
+    def test_beats_bimodal_on_patterned_branch(self):
+        combined = CombinedPredictor(64, 1024, 8, 64)
+        bimodal = BimodalPredictor(64)
+        pattern = [bool(i % 2) for i in range(300)]
+        assert train(combined, 0x3000, pattern) > train(
+            bimodal, 0x3000, list(pattern))
+
+    def test_matches_bimodal_on_biased_branch(self):
+        combined = CombinedPredictor(64, 1024, 8, 64)
+        assert train(combined, 0x3000, [True] * 100) > 0.9
+
+    def test_paper_configuration_sizes(self):
+        predictor = CombinedPredictor()
+        assert predictor.gshare._table.mask == 64 * 1024 - 1
+        assert predictor.bimodal._table.mask == 2048 - 1
+        assert predictor._chooser.mask == 1024 - 1
+
+    def test_accuracy_on_mixed_random_biased(self):
+        rng = random.Random(42)
+        predictor = CombinedPredictor(64, 4096, 8, 256)
+        correct = total = 0
+        for i in range(2000):
+            pc = 0x4000 + 4 * (i % 16)
+            bias = (pc >> 2) % 4 != 0      # 12 biased, 4 random branches
+            taken = bias if (pc >> 2) % 4 else rng.random() < 0.5
+            if predictor.predict(pc) == taken:
+                correct += 1
+            predictor.update(pc, taken)
+            total += 1
+        assert correct / total > 0.7
+
+
+class TestTaken:
+    def test_always_taken(self):
+        predictor = TakenPredictor()
+        assert predictor.predict(0x100) is True
+        predictor.update(0x100, False)
+        assert predictor.stats.mispredictions == 1

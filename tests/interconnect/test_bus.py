@@ -1,0 +1,55 @@
+"""Unit tests for the inter-cluster path model (§4.2)."""
+
+import pytest
+
+from repro.interconnect import Interconnect
+
+
+class TestBandwidth:
+    def test_unbounded_never_rejects(self):
+        net = Interconnect(4, latency=1, paths_per_cluster=None)
+        for _ in range(100):
+            assert net.try_reserve(0, 5)
+        assert net.transfers == 100
+        assert net.rejected == 0
+
+    def test_per_cluster_per_cycle_limit(self):
+        net = Interconnect(4, latency=1, paths_per_cluster=1)
+        assert net.try_reserve(2, 10)
+        assert not net.try_reserve(2, 10)    # same cluster, same cycle
+        assert net.try_reserve(2, 11)        # pipelined: next cycle ok
+        assert net.try_reserve(3, 10)        # other cluster independent
+        assert net.rejected == 1
+
+    def test_b_paths_allow_b_transfers(self):
+        net = Interconnect(2, latency=1, paths_per_cluster=2)
+        assert net.try_reserve(1, 4)
+        assert net.try_reserve(1, 4)
+        assert not net.try_reserve(1, 4)
+
+
+class TestLatency:
+    def test_arrival_cycle(self):
+        assert Interconnect(2, latency=1).arrival_cycle(10) == 11
+        assert Interconnect(2, latency=4).arrival_cycle(10) == 14
+
+    def test_latency_validated(self):
+        with pytest.raises(ValueError):
+            Interconnect(2, latency=0)
+        with pytest.raises(ValueError):
+            Interconnect(2, latency=1, paths_per_cluster=0)
+
+
+class TestPrune:
+    def test_prune_drops_old_reservations_only(self):
+        net = Interconnect(2, latency=1, paths_per_cluster=1)
+        net.try_reserve(0, 5)
+        net.try_reserve(0, 50)
+        net.prune(before_cycle=10)
+        assert net.try_reserve(0, 5)          # old record dropped
+        assert not net.try_reserve(0, 50)     # future record kept
+
+    def test_prune_noop_when_unbounded(self):
+        net = Interconnect(2, latency=1)
+        net.try_reserve(0, 1)
+        net.prune(100)   # must not raise

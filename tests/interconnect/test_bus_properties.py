@@ -1,0 +1,55 @@
+"""Property-based tests for the interconnect's reservation accounting."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import Interconnect
+
+
+@settings(max_examples=60)
+@given(paths=st.integers(1, 4),
+       requests=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 20)),
+                         max_size=80))
+def test_per_slot_limit_never_exceeded(paths, requests):
+    net = Interconnect(4, latency=1, paths_per_cluster=paths)
+    granted: Counter = Counter()
+    for cluster, cycle in requests:
+        if net.try_reserve(cluster, cycle):
+            granted[(cluster, cycle)] += 1
+    assert all(count <= paths for count in granted.values())
+    assert net.transfers == sum(granted.values())
+    assert net.rejected == len(requests) - sum(granted.values())
+
+
+@settings(max_examples=40)
+@given(requests=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 20)),
+                         max_size=60))
+def test_unbounded_mode_grants_everything(requests):
+    net = Interconnect(4, latency=2, paths_per_cluster=None)
+    for cluster, cycle in requests:
+        assert net.try_reserve(cluster, cycle)
+    assert net.rejected == 0
+
+
+@settings(max_examples=40)
+@given(latency=st.integers(1, 16), depart=st.integers(0, 1000))
+def test_arrival_always_after_departure(latency, depart):
+    net = Interconnect(2, latency=latency)
+    assert net.arrival_cycle(depart) == depart + latency
+
+
+@settings(max_examples=30)
+@given(paths=st.integers(1, 2),
+       horizon=st.integers(5, 30))
+def test_prune_preserves_future_reservations(paths, horizon):
+    net = Interconnect(2, latency=1, paths_per_cluster=paths)
+    for cycle in range(horizon):
+        for _ in range(paths):
+            assert net.try_reserve(0, cycle)
+    cut = horizon // 2
+    net.prune(before_cycle=cut)
+    # Past slots are reusable again; future slots remain booked.
+    assert net.try_reserve(0, 0)
+    assert not net.try_reserve(0, horizon - 1)

@@ -1,0 +1,73 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, execute
+
+
+def test_basic_program_with_labels_and_comments():
+    program = assemble("""
+    # sum 1..4
+            li   r1, 0     # acc
+            li   r2, 1     # i
+            li   r3, 5
+    loop:   add  r1, r1, r2
+            addi r2, r2, 1
+            blt  r2, r3, loop
+            halt
+    """)
+    trace = execute(program)
+    adds = [d for d in trace if d.op.name == "add"]
+    assert adds[-1].result == 10
+
+
+def test_data_and_zeros_directives():
+    program = assemble("""
+    .data  nums  3 5 7
+    .zeros out   2
+            la r1, nums
+            lw r2, r1, 8
+            halt
+    """)
+    assert execute(program)[-1].result == 7
+
+
+def test_commas_optional():
+    program = assemble("add r1 r2 r3\nhalt\n")
+    assert program.instructions[0].op.name == "add"
+
+
+def test_label_on_its_own_line():
+    program = assemble("""
+    start:
+        j start
+    """)
+    assert program.labels["start"] == program.code_base
+
+
+def test_hex_and_negative_immediates():
+    program = assemble("""
+        li r1, 0x10
+        addi r2, r1, -3
+        halt
+    """)
+    assert execute(program)[1].result == 13
+
+
+@pytest.mark.parametrize("source,message", [
+    ("bogus r1, r2", "unknown opcode"),
+    (".data", ".data needs"),
+    (".zeros buf", ".zeros needs"),
+    ("li r1, xyz", "expected a number"),
+    ("x: x: nop", "duplicate"),
+    (": nop", "empty label"),
+    ("j nowhere\nhalt", "nowhere"),
+])
+def test_errors_carry_context(source, message):
+    with pytest.raises(AssemblerError, match=message):
+        assemble(source)
+
+
+def test_error_includes_line_number():
+    with pytest.raises(AssemblerError, match="line 3"):
+        assemble("nop\nnop\nbogus r1\n")

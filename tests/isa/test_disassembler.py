@@ -1,0 +1,86 @@
+"""Round-trip tests: program -> disassembly -> program."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ProgramBuilder, assemble, disassemble, execute
+from repro.workloads import synthetic
+
+
+def roundtrip_trace_equal(program, cap=3000):
+    """Execute original and reassembled program; compare the streams.
+
+    Holds for integer programs with word-granular data (see the
+    disassembler's documented scope).
+    """
+    text = disassemble(program)
+    rebuilt = assemble(text)
+    original = [(d.pc, d.op.name, d.result, d.mem_addr)
+                for d in execute(program, cap)]
+    redone = [(d.pc, d.op.name, d.result, d.mem_addr)
+              for d in execute(rebuilt, cap)]
+    assert original == redone
+
+
+def test_loop_with_data_roundtrips():
+    b = ProgramBuilder()
+    base = b.data("nums", [5, 6, 7, 8])
+    b.emit("li", "r1", base)
+    b.emit("li", "r2", 0)
+    b.emit("li", "r3", 4)
+    b.emit("li", "r4", 0)
+    b.label("loop")
+    b.emit("lw", "r5", "r1", 0)
+    b.emit("add", "r4", "r4", "r5")
+    b.emit("sw", "r4", "r1", 0)
+    b.emit("addi", "r1", "r1", 4)
+    b.emit("addi", "r2", "r2", 1)
+    b.emit("blt", "r2", "r3", "loop")
+    b.emit("halt")
+    roundtrip_trace_equal(b.build())
+
+
+def test_synthetic_programs_roundtrip():
+    for factory in (synthetic.counted_loop, synthetic.strided_stream,
+                    synthetic.random_branches,
+                    synthetic.store_load_pairs):
+        roundtrip_trace_equal(factory(), cap=1500)
+
+
+def test_disassembly_is_readable():
+    b = ProgramBuilder()
+    b.emit("li", "r1", 3)
+    b.label("spin")
+    b.emit("addi", "r1", "r1", -1)
+    b.emit("bne", "r1", "r0", "spin")
+    b.emit("halt")
+    text = disassemble(b.build())
+    assert "addi r1, r1, -1" in text
+    assert "bne r1, r0, L1" in text
+    assert text.count("L1:") == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["add", "sub", "xor", "min", "mul",
+                               "addi", "slli"]),
+              st.integers(8, 15), st.integers(8, 15),
+              st.integers(-7, 7)),
+    min_size=1, max_size=25),
+    iters=st.integers(min_value=1, max_value=10))
+def test_random_programs_roundtrip(ops, iters):
+    b = ProgramBuilder()
+    for i in range(8, 16):
+        b.emit("li", f"r{i}", i)
+    b.emit("li", "r1", 0)
+    b.emit("li", "r2", iters)
+    b.label("loop")
+    for op, a, c, imm in ops:
+        if op in ("addi", "slli"):
+            b.emit(op, f"r{a}", f"r{c}", abs(imm))
+        else:
+            b.emit(op, f"r{a}", f"r{a}", f"r{c}")
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("blt", "r1", "r2", "loop")
+    b.emit("halt")
+    roundtrip_trace_equal(b.build())

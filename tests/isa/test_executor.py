@@ -1,0 +1,252 @@
+"""Golden tests of the functional executor's opcode semantics."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, execute
+from repro.isa.executor import ExecutionError, FunctionalExecutor
+
+
+def run_and_last_value(emits, max_instructions=10_000):
+    """Build, run, and return the result of the last value-producing op."""
+    b = ProgramBuilder()
+    for line in emits:
+        if line[0] == "label":
+            b.label(line[1])
+        else:
+            b.emit(*line)
+    b.emit("halt")
+    trace = execute(b.build(), max_instructions)
+    for dyn in reversed(trace):
+        if dyn.result is not None:
+            return dyn.result
+    return None
+
+
+class TestIntegerArithmetic:
+    @pytest.mark.parametrize("op,a,c,expected", [
+        ("add", 5, 7, 12),
+        ("sub", 5, 7, -2),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("sll", 3, 4, 48),
+        ("srl", 48, 4, 3),
+        ("sra", -16, 2, -4),
+        ("slt", 3, 5, 1),
+        ("slt", 5, 3, 0),
+        ("min", 3, -5, -5),
+        ("max", 3, -5, 3),
+        ("mul", 7, -6, -42),
+        ("div", 17, 5, 3),
+        ("div", -17, 5, -3),     # truncation toward zero
+        ("rem", 17, 5, 2),
+        ("rem", -17, 5, -2),
+    ])
+    def test_binops(self, op, a, c, expected):
+        value = run_and_last_value([
+            ("li", "r1", a), ("li", "r2", c), (op, "r3", "r1", "r2")])
+        assert value == expected
+
+    def test_divide_by_zero_yields_zero(self):
+        assert run_and_last_value([
+            ("li", "r1", 9), ("li", "r2", 0), ("div", "r3", "r1", "r2")]) == 0
+        assert run_and_last_value([
+            ("li", "r1", 9), ("li", "r2", 0), ("rem", "r3", "r1", "r2")]) == 0
+
+    def test_wraparound_64bit(self):
+        value = run_and_last_value([
+            ("li", "r1", (1 << 62)), ("li", "r2", 4),
+            ("mul", "r3", "r1", "r2")])
+        assert value == 0  # 2^64 wraps to zero
+
+    def test_sltu_treats_negative_as_large(self):
+        assert run_and_last_value([
+            ("li", "r1", -1), ("li", "r2", 1),
+            ("sltu", "r3", "r1", "r2")]) == 0
+
+    def test_immediates(self):
+        assert run_and_last_value([
+            ("li", "r1", 10), ("addi", "r2", "r1", -3)]) == 7
+        assert run_and_last_value([
+            ("li", "r1", 0b1111), ("andi", "r2", "r1", 0b0110)]) == 0b0110
+        assert run_and_last_value([
+            ("li", "r1", 5), ("slli", "r2", "r1", 2)]) == 20
+
+    def test_mov_and_nop(self):
+        assert run_and_last_value([
+            ("li", "r1", 42), ("mov", "r2", "r1")]) == 42
+
+
+class TestZeroRegister:
+    def test_reads_as_zero(self):
+        assert run_and_last_value([
+            ("li", "r1", 5), ("add", "r2", "r1", "r0")]) == 5
+
+    def test_writes_discarded(self):
+        b = ProgramBuilder()
+        b.emit("li", "r0", 99)
+        b.emit("add", "r1", "r0", "r0")
+        b.emit("halt")
+        trace = execute(b.build())
+        assert trace[-1].result == 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        b = ProgramBuilder()
+        buf = b.zeros("buf", 2)
+        b.emit("li", "r1", buf)
+        b.emit("li", "r2", 1234)
+        b.emit("sw", "r2", "r1", 4)
+        b.emit("lw", "r3", "r1", 4)
+        b.emit("halt")
+        trace = execute(b.build())
+        assert trace[-1].result == 1234
+        assert trace[-1].mem_addr == buf + 4
+        assert trace[-2].mem_addr == buf + 4
+
+    def test_lb_masks_to_byte(self):
+        b = ProgramBuilder()
+        buf = b.data("buf", [0x1FF])
+        b.emit("li", "r1", buf)
+        b.emit("lb", "r2", "r1", 0)
+        b.emit("halt")
+        assert execute(b.build())[-1].result == 0xFF
+
+    def test_fp_memory(self):
+        b = ProgramBuilder()
+        buf = b.data("buf", [2.5], elem_size=8)
+        out = b.zeros("out", 1, elem_size=8)
+        b.emit("li", "r1", buf)
+        b.emit("li", "r2", out)
+        b.emit("flw", "f1", "r1", 0)
+        b.emit("fadd", "f2", "f1", "f1")
+        b.emit("fsw", "f2", "r2", 0)
+        b.emit("halt")
+        program = b.build()
+        execute(program)
+        assert program.memory.load(out) == 5.0
+
+
+class TestBranches:
+    def test_loop_iterates_exactly(self):
+        b = ProgramBuilder()
+        b.emit("li", "r1", 0)
+        b.emit("li", "r2", 5)
+        b.label("loop")
+        b.emit("addi", "r1", "r1", 1)
+        b.emit("blt", "r1", "r2", "loop")
+        b.emit("halt")
+        trace = execute(b.build())
+        branches = [d for d in trace if d.is_cond_branch]
+        assert [d.taken for d in branches] == [True] * 4 + [False]
+        assert branches[0].target == branches[-1].target
+
+    @pytest.mark.parametrize("op,a,c,taken", [
+        ("beq", 3, 3, True), ("beq", 3, 4, False),
+        ("bne", 3, 4, True), ("bne", 3, 3, False),
+        ("blt", -1, 0, True), ("blt", 0, 0, False),
+        ("bge", 0, 0, True), ("bge", -1, 0, False),
+    ])
+    def test_branch_conditions(self, op, a, c, taken):
+        b = ProgramBuilder()
+        b.emit("li", "r1", a)
+        b.emit("li", "r2", c)
+        b.emit(op, "r1", "r2", "target")
+        b.emit("nop")
+        b.label("target")
+        b.emit("halt")
+        trace = execute(b.build())
+        branch = [d for d in trace if d.is_cond_branch][0]
+        assert branch.taken is taken
+        expected_len = 3 if taken else 4
+        assert len(trace) == expected_len
+
+    def test_unconditional_jump(self):
+        b = ProgramBuilder()
+        b.emit("j", "over")
+        b.emit("li", "r1", 1)   # skipped
+        b.label("over")
+        b.emit("halt")
+        trace = execute(b.build())
+        assert len(trace) == 1
+        assert trace[0].taken is True
+
+
+class TestFloatingPoint:
+    def test_fp_ops(self):
+        b = ProgramBuilder()
+        b.emit("li", "r1", 3)
+        b.emit("cvtif", "f1", "r1")
+        b.emit("li", "r2", 2)
+        b.emit("cvtif", "f2", "r2")
+        b.emit("fmul", "f3", "f1", "f2")   # 6.0
+        b.emit("fdiv", "f4", "f3", "f2")   # 3.0
+        b.emit("fsub", "f5", "f4", "f2")   # 1.0
+        b.emit("fneg", "f6", "f5")         # -1.0
+        b.emit("cvtfi", "r3", "f6")
+        b.emit("halt")
+        trace = execute(b.build())
+        assert trace[-1].result == -1
+
+    def test_fp_compares_produce_int(self):
+        b = ProgramBuilder()
+        b.emit("li", "r1", 1)
+        b.emit("cvtif", "f1", "r1")
+        b.emit("li", "r2", 2)
+        b.emit("cvtif", "f2", "r2")
+        b.emit("flt", "r3", "f1", "f2")
+        b.emit("halt")
+        assert execute(b.build())[-1].result == 1
+
+    def test_fdiv_by_zero_yields_zero(self):
+        b = ProgramBuilder()
+        b.emit("cvtif", "f1", "r0")
+        b.emit("li", "r1", 7)
+        b.emit("cvtif", "f2", "r1")
+        b.emit("fdiv", "f3", "f2", "f1")
+        b.emit("cvtfi", "r2", "f3")
+        b.emit("halt")
+        assert execute(b.build())[-1].result == 0
+
+
+class TestExecutorMechanics:
+    def test_instruction_cap_truncates(self):
+        b = ProgramBuilder()
+        b.label("spin")
+        b.emit("addi", "r1", "r1", 1)
+        b.emit("j", "spin")
+        trace = execute(b.build(), max_instructions=100)
+        assert len(trace) == 100
+
+    def test_seq_numbers_consecutive(self):
+        b = ProgramBuilder()
+        for _ in range(5):
+            b.emit("nop")
+        b.emit("halt")
+        trace = execute(b.build())
+        assert [d.seq for d in trace] == list(range(5))
+
+    def test_src_values_recorded(self):
+        b = ProgramBuilder()
+        b.emit("li", "r1", 11)
+        b.emit("li", "r2", 22)
+        b.emit("add", "r3", "r1", "r2")
+        b.emit("halt")
+        trace = execute(b.build())
+        assert trace[-1].src_values == (11, 22)
+
+    def test_falling_off_code_raises(self):
+        b = ProgramBuilder()
+        b.emit("nop")   # no halt
+        with pytest.raises(ExecutionError, match="PC out of code segment"):
+            execute(b.build())
+
+    def test_generator_is_lazy(self):
+        b = ProgramBuilder()
+        b.label("spin")
+        b.emit("j", "spin")
+        executor = FunctionalExecutor(b.build(), max_instructions=10**9)
+        stream = executor.run()
+        first = next(stream)
+        assert first.seq == 0

@@ -1,0 +1,109 @@
+"""Property-based tests of the executor's arithmetic and control flow."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ProgramBuilder, execute
+from repro.isa.executor import _wrap64
+
+int64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+small = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+@given(int64, int64)
+def test_wrap64_matches_two_complement(a, b):
+    total = _wrap64(a + b)
+    assert -(1 << 63) <= total < (1 << 63)
+    assert (total - (a + b)) % (1 << 64) == 0
+
+
+@given(int64)
+def test_wrap64_identity_in_range(a):
+    assert _wrap64(a) == a
+
+
+def _binop_trace(op, a, b):
+    builder = ProgramBuilder()
+    builder.emit("li", "r1", a)
+    builder.emit("li", "r2", b)
+    builder.emit(op, "r3", "r1", "r2")
+    builder.emit("halt")
+    return execute(builder.build())
+
+
+@settings(max_examples=40)
+@given(small, small)
+def test_add_commutes(a, b):
+    assert (_binop_trace("add", a, b)[-1].result
+            == _binop_trace("add", b, a)[-1].result)
+
+
+@settings(max_examples=40)
+@given(small, small)
+def test_min_max_partition(a, b):
+    lo = _binop_trace("min", a, b)[-1].result
+    hi = _binop_trace("max", a, b)[-1].result
+    assert {lo, hi} == {a, b} or (a == b and lo == hi == a)
+    assert lo <= hi
+
+
+@settings(max_examples=40)
+@given(small, st.integers(min_value=1, max_value=(1 << 20)))
+def test_div_rem_reconstruct(a, b):
+    q = _binop_trace("div", a, b)[-1].result
+    r = _binop_trace("rem", a, b)[-1].result
+    assert q * b + r == a
+    assert abs(r) < b
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=40))
+def test_counted_loop_executes_n_times(n):
+    builder = ProgramBuilder()
+    builder.emit("li", "r1", 0)
+    builder.emit("li", "r2", n)
+    builder.label("loop")
+    builder.emit("addi", "r1", "r1", 1)
+    builder.emit("blt", "r1", "r2", "loop")
+    builder.emit("halt")
+    trace = execute(builder.build())
+    adds = [d for d in trace if d.op.name == "addi"]
+    assert len(adds) == n
+    assert adds[-1].result == n
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=30))
+def test_memory_sum_loop(values):
+    builder = ProgramBuilder()
+    base = builder.data("arr", values)
+    builder.emit("li", "r1", base)
+    builder.emit("li", "r2", 0)
+    builder.emit("li", "r3", len(values))
+    builder.emit("li", "r4", 0)
+    builder.label("loop")
+    builder.emit("lw", "r5", "r1", 0)
+    builder.emit("add", "r4", "r4", "r5")
+    builder.emit("addi", "r1", "r1", 4)
+    builder.emit("addi", "r2", "r2", 1)
+    builder.emit("blt", "r2", "r3", "loop")
+    builder.emit("halt")
+    trace = execute(builder.build())
+    sums = [d for d in trace if d.op.name == "add"]
+    assert sums[-1].result == sum(values)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=200))
+def test_trace_determinism(cap):
+    builder = ProgramBuilder()
+    builder.label("spin")
+    builder.emit("addi", "r1", "r1", 3)
+    builder.emit("xor", "r2", "r2", "r1")
+    builder.emit("j", "spin")
+    program = builder.build()
+    t1 = execute(program, cap)
+    # A fresh run over a rebuilt (identical) program must match exactly.
+    t2 = execute(builder.build(), cap)
+    assert [(d.pc, d.result) for d in t1] == [(d.pc, d.result) for d in t2]

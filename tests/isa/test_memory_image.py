@@ -1,0 +1,51 @@
+"""Unit tests for the functional memory image."""
+
+import pytest
+
+from repro.isa.memory_image import MemoryImage
+
+
+def test_uninitialized_reads_zero():
+    mem = MemoryImage()
+    assert mem.load(0x1234) == 0
+
+
+def test_store_load():
+    mem = MemoryImage()
+    mem.store(8, 99)
+    assert mem.load(8) == 99
+    assert mem.load(12) == 0
+
+
+def test_alloc_disjoint_and_aligned():
+    mem = MemoryImage()
+    a = mem.alloc(10, align=8)
+    c = mem.alloc(4, align=8)
+    assert a % 8 == 0 and c % 8 == 0
+    assert c >= a + 10
+
+
+def test_alloc_words_initializes():
+    mem = MemoryImage()
+    base = mem.alloc_words([5, 6, 7])
+    assert [mem.load(base + 4 * i) for i in range(3)] == [5, 6, 7]
+
+
+def test_alloc_words_elem_size_8():
+    mem = MemoryImage()
+    base = mem.alloc_words([1.5, 2.5], elem_size=8)
+    assert mem.load(base + 8) == 2.5
+
+
+def test_negative_alloc_rejected():
+    with pytest.raises(ValueError):
+        MemoryImage().alloc(-1)
+
+
+def test_snapshot_is_a_copy():
+    mem = MemoryImage()
+    mem.store(0, 1)
+    snap = mem.snapshot()
+    mem.store(0, 2)
+    assert snap[0] == 1
+    assert len(mem) == 1

@@ -1,0 +1,77 @@
+"""Every registered opcode is executable and timing-classified.
+
+A golden cross-check between the opcode registry, the functional
+executor's semantics tables and the FU latency table: adding an opcode
+to one without the others should fail here, not deep inside a workload.
+"""
+
+import pytest
+
+from repro.cluster import DEFAULT_LATENCIES
+from repro.isa import OPCODES, ProgramBuilder, execute
+from repro.isa.opcodes import OpClass
+
+
+def exercise(op_name):
+    """Build a minimal valid program around one opcode and run it."""
+    b = ProgramBuilder()
+    info = OPCODES[op_name]
+    buf = b.data("buf", [3, 5, 7, 9])
+    fbuf = b.data("fbuf", [1.5, 2.5], elem_size=8)
+    b.emit("li", "r1", buf)
+    b.emit("li", "r2", 2)
+    b.emit("li", "r3", 1)
+    b.emit("cvtif", "f1", "r2")
+    b.emit("cvtif", "f2", "r3")
+    b.emit("li", "r9", fbuf)
+    operands = []
+    reg_slot = 0
+    from repro.isa.program import _expected_banks
+    banks = _expected_banks(info)
+    int_regs = iter(["r2", "r3", "r1"])
+    fp_regs = iter(["f1", "f2", "f3"])
+    for kind in info.signature:
+        if kind == "R":
+            operands.append("f5" if banks[reg_slot] == "f" else "r5")
+            reg_slot += 1
+        elif kind == "S":
+            if banks[reg_slot] == "f":
+                operands.append(next(fp_regs))
+            else:
+                # memory ops need a valid base address in the last slot
+                operands.append("r1" if info.mem_size and
+                                kind == "S" and reg_slot ==
+                                len(banks) - 1 else next(int_regs))
+            reg_slot += 1
+        elif kind == "I":
+            operands.append(0)
+        elif kind == "A":
+            operands.append(buf)
+        elif kind == "L":
+            operands.append("target")
+    if info.mem_size == 8:
+        # fp memory ops use the fp buffer as base
+        operands[-2 if info.is_store else 1] = "r9"
+    b.emit(op_name, *operands)
+    b.label("target")
+    b.emit("halt")
+    return execute(b.build(), 100)
+
+
+@pytest.mark.parametrize("op_name", sorted(OPCODES))
+def test_opcode_executes(op_name):
+    if op_name == "halt":
+        pytest.skip("halt ends the trace by definition")
+    trace = exercise(op_name)
+    assert any(d.op.name == op_name for d in trace)
+
+
+@pytest.mark.parametrize("op_name", sorted(OPCODES))
+def test_opcode_has_latency(op_name):
+    info = OPCODES[op_name]
+    assert info.opclass in DEFAULT_LATENCIES
+    assert DEFAULT_LATENCIES[info.opclass] >= 1
+
+
+def test_opclass_coverage_is_total():
+    assert set(DEFAULT_LATENCIES) == set(OpClass)

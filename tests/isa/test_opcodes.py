@@ -1,0 +1,79 @@
+"""Unit tests for the opcode registry metadata."""
+
+import pytest
+
+from repro.isa.opcodes import (FP_CLASSES, INT_CLASSES, OPCODES, OpClass,
+                               opinfo)
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert opinfo("add").opclass is OpClass.IALU
+        assert opinfo("mul").opclass is OpClass.IMUL
+        assert opinfo("div").opclass is OpClass.IDIV
+        assert opinfo("fadd").opclass is OpClass.FALU
+        assert opinfo("fmul").opclass is OpClass.FMUL
+        assert opinfo("fdiv").opclass is OpClass.FDIV
+        assert opinfo("lw").opclass is OpClass.LOAD
+        assert opinfo("sw").opclass is OpClass.STORE
+
+    def test_unknown_opcode_raises_keyerror_with_name(self):
+        with pytest.raises(KeyError, match="bogus"):
+            opinfo("bogus")
+
+    def test_every_opcode_keyed_by_its_name(self):
+        for name, info in OPCODES.items():
+            assert info.name == name
+
+
+class TestFlags:
+    def test_branches(self):
+        for name in ("beq", "bne", "blt", "bge"):
+            info = opinfo(name)
+            assert info.is_branch and info.is_cond_branch
+        assert opinfo("j").is_branch
+        assert not opinfo("j").is_cond_branch
+        assert not opinfo("add").is_branch
+
+    def test_memory_flags_and_sizes(self):
+        assert opinfo("lw").is_load and opinfo("lw").mem_size == 4
+        assert opinfo("lb").mem_size == 1
+        assert opinfo("sw").is_store
+        assert opinfo("flw").is_load and opinfo("flw").mem_size == 8
+        assert opinfo("fsw").is_store
+        assert not opinfo("add").is_load and not opinfo("add").is_store
+
+    def test_dest_and_src_counts(self):
+        assert opinfo("add").has_dest and opinfo("add").num_srcs == 2
+        assert opinfo("sw").num_srcs == 2 and not opinfo("sw").has_dest
+        assert opinfo("beq").num_srcs == 2 and not opinfo("beq").has_dest
+        assert opinfo("li").num_srcs == 0 and opinfo("li").has_dest
+        assert opinfo("nop").num_srcs == 0 and not opinfo("nop").has_dest
+
+    def test_int_fp_side_partition(self):
+        assert INT_CLASSES.isdisjoint(FP_CLASSES)
+        assert set(OpClass) == INT_CLASSES | FP_CLASSES
+        assert opinfo("lw").is_int
+        assert opinfo("fadd").is_int is False
+
+    def test_fp_compares_are_fp_side(self):
+        # feq/flt/fle read fp registers and execute on the fp side even
+        # though their destination is an integer register.
+        for name in ("feq", "flt", "fle"):
+            assert opinfo(name).opclass is OpClass.FALU
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("name,sig", [
+        ("add", ("R", "S", "S")),
+        ("addi", ("R", "S", "I")),
+        ("li", ("R", "I")),
+        ("la", ("R", "A")),
+        ("lw", ("R", "S", "I")),
+        ("sw", ("S", "S", "I")),
+        ("beq", ("S", "S", "L")),
+        ("j", ("L",)),
+        ("halt", ()),
+    ])
+    def test_signature(self, name, sig):
+        assert opinfo(name).signature == sig

@@ -1,0 +1,125 @@
+"""Unit tests for the program builder and label resolution."""
+
+import pytest
+
+from repro.isa.program import (CODE_BASE, INSTRUCTION_BYTES, ProgramBuilder,
+                               ProgramError)
+
+
+def test_simple_program_pcs_and_lookup():
+    b = ProgramBuilder()
+    b.emit("li", "r1", 5)
+    b.emit("addi", "r1", "r1", 1)
+    b.emit("halt")
+    program = b.build()
+    assert len(program) == 3
+    assert program.instructions[0].pc == CODE_BASE
+    assert program.instructions[1].pc == CODE_BASE + INSTRUCTION_BYTES
+    assert program.at(CODE_BASE + INSTRUCTION_BYTES).op.name == "addi"
+
+
+def test_label_resolution_forward_and_backward():
+    b = ProgramBuilder()
+    b.label("top")
+    b.emit("beq", "r0", "r0", "bottom")   # forward
+    b.emit("j", "top")                    # backward
+    b.label("bottom")
+    b.emit("halt")
+    program = b.build()
+    beq, jmp, _ = program.instructions
+    assert beq.target == CODE_BASE + 2 * INSTRUCTION_BYTES
+    assert jmp.target == CODE_BASE
+
+
+def test_data_allocation_and_la():
+    b = ProgramBuilder()
+    addr = b.data("table", [10, 20, 30])
+    b.emit("la", "r1", "table")
+    b.emit("halt")
+    program = b.build()
+    assert program.instructions[0].imm == addr
+    assert program.memory.load(addr) == 10
+    assert program.memory.load(addr + 8) == 30
+    assert program.data_labels["table"] == addr
+
+
+def test_zeros_allocates_disjoint_regions():
+    b = ProgramBuilder()
+    a = b.zeros("a", 4)
+    c = b.zeros("c", 4)
+    assert c >= a + 16
+
+
+def test_la_accepts_raw_address():
+    b = ProgramBuilder()
+    b.emit("la", "r1", 0x2000)
+    b.emit("halt")
+    assert b.build().instructions[0].imm == 0x2000
+
+
+def test_operand_count_mismatch_raises():
+    b = ProgramBuilder()
+    with pytest.raises(ProgramError, match="expected 3 operands"):
+        b.emit("add", "r1", "r2")
+
+
+def test_duplicate_labels_raise():
+    b = ProgramBuilder()
+    b.label("x")
+    b.emit("nop")
+    with pytest.raises(ProgramError, match="duplicate code label"):
+        b.label("x")
+    b.data("d", [1])
+    with pytest.raises(ProgramError, match="duplicate data label"):
+        b.data("d", [2])
+
+
+def test_unknown_labels_raise_at_build():
+    b = ProgramBuilder()
+    b.emit("j", "nowhere")
+    with pytest.raises(ProgramError, match="nowhere"):
+        b.build()
+    b2 = ProgramBuilder()
+    b2.emit("la", "r1", "nodata")
+    with pytest.raises(ProgramError, match="nodata"):
+        b2.build()
+
+
+def test_register_bank_validation():
+    b = ProgramBuilder()
+    b.emit("fadd", "r1", "f2", "f3")  # integer dest on a pure-fp opcode
+    with pytest.raises(ProgramError, match="fp register"):
+        b.build()
+
+
+def test_bank_validation_through_emit():
+    b = ProgramBuilder()
+    b.emit("fadd", "f1", "f2", "r3")  # accepted lazily...
+    with pytest.raises(ProgramError, match="fp register"):
+        b.build()                     # ...rejected at assembly
+
+
+def test_mixed_bank_opcodes_accept_correct_banks():
+    b = ProgramBuilder()
+    b.emit("cvtif", "f1", "r2")
+    b.emit("cvtfi", "r1", "f2")
+    b.emit("flt", "r3", "f1", "f2")
+    b.emit("flw", "f4", "r5", 0)
+    b.emit("fsw", "f4", "r5", 8)
+    b.emit("halt")
+    program = b.build()
+    assert len(program) == 6
+
+
+def test_immediate_type_checked():
+    b = ProgramBuilder()
+    b.emit("addi", "r1", "r1", "oops")
+    with pytest.raises(ProgramError, match="immediate"):
+        b.build()
+
+
+def test_here_reports_next_index():
+    b = ProgramBuilder()
+    assert b.here() == 0
+    b.emit("nop")
+    assert b.here() == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the register name space."""
+
+import pytest
+
+from repro.isa.registers import (FP_BASE, NUM_INT_REGS, NUM_LOGICAL_REGS,
+                                 ZERO_REG, RegisterError, is_fp_reg,
+                                 is_int_reg, reg_id, reg_name)
+
+
+class TestRegId:
+    def test_int_registers(self):
+        assert reg_id("r0") == 0
+        assert reg_id("r31") == 31
+
+    def test_fp_registers(self):
+        assert reg_id("f0") == FP_BASE
+        assert reg_id("f31") == FP_BASE + 31
+
+    def test_zero_register_constant(self):
+        assert reg_id("r0") == ZERO_REG
+
+    @pytest.mark.parametrize("bad", ["r32", "f32", "x1", "r", "", "r-1",
+                                     "rr1", "r1x"])
+    def test_malformed_names_raise(self, bad):
+        with pytest.raises(RegisterError):
+            reg_id(bad)
+
+
+class TestRegName:
+    def test_roundtrip_all_registers(self):
+        for rid in range(NUM_LOGICAL_REGS):
+            assert reg_id(reg_name(rid)) == rid
+
+    def test_fp_boundary(self):
+        assert reg_name(FP_BASE - 1) == f"r{NUM_INT_REGS - 1}"
+        assert reg_name(FP_BASE) == "f0"
+
+    @pytest.mark.parametrize("bad", [-1, NUM_LOGICAL_REGS, 1000])
+    def test_out_of_range_raises(self, bad):
+        with pytest.raises(RegisterError):
+            reg_name(bad)
+
+
+class TestBankPredicates:
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)
+
+    def test_is_int_reg(self):
+        assert is_int_reg(0)
+        assert is_int_reg(31)
+        assert not is_int_reg(32)
+        assert not is_int_reg(-1)

@@ -1,0 +1,23 @@
+"""Unit tests for the oracle and null predictors."""
+
+from repro.predictor import NullPredictor, PerfectPredictor
+
+
+def test_perfect_always_right_and_confident():
+    predictor = PerfectPredictor()
+    for value in (0, -5, 1 << 40):
+        prediction = predictor.predict(0x1000, 0, value)
+        assert prediction.confident and prediction.value == value
+        predictor.update(0x1000, 0, value)
+    assert predictor.stats.hit_ratio == 1.0
+    assert predictor.stats.confident_fraction == 1.0
+
+
+def test_null_never_confident():
+    predictor = NullPredictor()
+    for value in (1, 2, 3):
+        assert not predictor.predict(0x1000, 0, value).confident
+        predictor.update(0x1000, 0, value)
+    assert predictor.stats.confident == 0
+    assert predictor.stats.lookups == 3
+    assert predictor.stats.hit_ratio == 0.0

@@ -1,0 +1,77 @@
+"""Property-based tests of the stride predictor's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictor import StridePredictor
+
+int64 = st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(start=int64, stride=st.integers(min_value=-(1 << 30),
+                                       max_value=1 << 30),
+       warmup=st.integers(min_value=5, max_value=12))
+def test_constant_stride_always_learned(start, stride, warmup):
+    """After >=3 constant-stride observations the prediction is exact."""
+    predictor = StridePredictor(256)
+    value = start
+    for _ in range(warmup):
+        predictor.predict(0x40, 0, value)
+        predictor.update(0x40, 0, value)
+        value += stride
+    prediction = predictor.predict(0x40, 0, value)
+    assert prediction.confident
+    assert prediction.value == value
+
+
+@settings(max_examples=50)
+@given(values=st.lists(int64, min_size=1, max_size=60))
+def test_counter_stays_in_2bit_range(values):
+    predictor = StridePredictor(64)
+    for value in values:
+        predictor.predict(0x40, 1, value)
+        predictor.update(0x40, 1, value)
+        _, _, counter = predictor.entry(0x40, 1)
+        assert 0 <= counter <= 3
+
+
+@settings(max_examples=50)
+@given(values=st.lists(int64, min_size=1, max_size=40))
+def test_stats_consistency(values):
+    predictor = StridePredictor(64)
+    for value in values:
+        predictor.predict(0x80, 0, value)
+        predictor.update(0x80, 0, value)
+    stats = predictor.stats
+    assert stats.confident <= stats.lookups == len(values)
+    assert stats.confident_correct <= stats.confident
+    assert 0.0 <= stats.confident_fraction <= 1.0
+    assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+@settings(max_examples=30)
+@given(values=st.lists(int64, min_size=1, max_size=30),
+       entries=st.sampled_from([2, 16, 256, 4096]))
+def test_last_value_always_tracked(values, entries):
+    """Whatever happens, the entry's last value is the latest actual."""
+    predictor = StridePredictor(entries)
+    for value in values:
+        predictor.update(0x100, 0, value)
+    last, _, _ = predictor.entry(0x100, 0)
+    assert last == values[-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(pcs=st.lists(st.integers(min_value=0, max_value=1 << 16).map(
+    lambda x: x << 2), min_size=2, max_size=8, unique=True))
+def test_large_table_no_interference(pcs):
+    """Distinct PCs in a big table never share an entry."""
+    predictor = StridePredictor(1 << 18)
+    for i, pc in enumerate(pcs):
+        for k in range(4):
+            predictor.update(pc, 0, i * 1000 + k)
+    for i, pc in enumerate(pcs):
+        last, stride, _ = predictor.entry(pc, 0)
+        assert last == i * 1000 + 3
+        assert stride == 1

@@ -1,0 +1,58 @@
+"""Unit tests for the physical-register free list."""
+
+import pytest
+
+from repro.rename import FreeList
+
+
+def test_alloc_until_empty_then_none():
+    fl = FreeList(3)
+    got = [fl.alloc() for _ in range(3)]
+    assert sorted(got) == [0, 1, 2]
+    assert fl.alloc() is None
+    assert fl.available == 0
+
+
+def test_free_returns_to_pool():
+    fl = FreeList(2)
+    a = fl.alloc()
+    fl.alloc()
+    fl.free(a)
+    assert fl.available == 1
+    assert fl.alloc() == a
+
+
+def test_double_free_raises():
+    fl = FreeList(2)
+    a = fl.alloc()
+    fl.free(a)
+    with pytest.raises(ValueError, match="double free"):
+        fl.free(a)
+
+
+def test_free_of_never_allocated_raises():
+    fl = FreeList(2)
+    with pytest.raises(ValueError):
+        fl.free(0)
+
+
+def test_is_allocated_tracking():
+    fl = FreeList(2)
+    a = fl.alloc()
+    assert fl.is_allocated(a)
+    fl.free(a)
+    assert not fl.is_allocated(a)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        FreeList(0)
+
+
+def test_fifo_recycling_order():
+    fl = FreeList(4)
+    regs = [fl.alloc() for _ in range(4)]
+    fl.free(regs[2])
+    fl.free(regs[0])
+    assert fl.alloc() == regs[2]
+    assert fl.alloc() == regs[0]

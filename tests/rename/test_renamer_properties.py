@@ -1,0 +1,63 @@
+"""Property-based tests: rename/commit traffic never leaks registers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.registers import NUM_LOGICAL_REGS
+from repro.rename import RenameUnit
+from repro.rename.renamer import FP_BANK, INT_BANK
+
+
+@settings(max_examples=40)
+@given(writes=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=NUM_LOGICAL_REGS - 1),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=120))
+def test_write_commit_cycle_preserves_register_count(writes):
+    """Renaming a write then committing it keeps exactly one mapping per
+    logical register and returns every previous register to the pools."""
+    unit = RenameUnit(NUM_LOGICAL_REGS, 4, 56)
+    for logical, cluster in writes:
+        if unit.free_count(cluster, unit.bank_of(logical)) == 0:
+            continue
+        _, previous = unit.define_dest(logical, cluster)
+        unit.release(previous)   # commit immediately
+    counts = unit.allocated_counts()
+    assert sum(v for (c, bank), v in counts.items()
+               if bank == INT_BANK) == NUM_LOGICAL_REGS // 2
+    assert sum(v for (c, bank), v in counts.items()
+               if bank == FP_BANK) == NUM_LOGICAL_REGS // 2
+    for logical in range(NUM_LOGICAL_REGS):
+        assert len(unit.mapped_clusters(logical)) == 1
+
+
+@settings(max_examples=40)
+@given(ops=st.lists(st.tuples(
+    st.sampled_from(["write", "replica"]),
+    st.integers(min_value=0, max_value=NUM_LOGICAL_REGS - 1),
+    st.integers(min_value=0, max_value=1)),
+    min_size=1, max_size=80))
+def test_mixed_traffic_invariants(ops):
+    """Replicas and writes interleaved: mappings and pools stay coherent."""
+    unit = RenameUnit(NUM_LOGICAL_REGS, 2, 64)
+    live_previous = []
+    for kind, logical, cluster in ops:
+        bank = unit.bank_of(logical)
+        if unit.free_count(cluster, bank) == 0:
+            continue
+        if kind == "write":
+            _, previous = unit.define_dest(logical, cluster)
+            live_previous.append(previous)
+        else:
+            if unit.mapping(logical, cluster) is None:
+                unit.alloc_replica(logical, cluster)
+        # Invariant: every logical register keeps >= 1 valid mapping.
+        assert unit.mapped_clusters(logical)
+    # Commit everything outstanding; pool accounting must balance.
+    for previous in live_previous:
+        unit.release(previous)
+    counts = unit.allocated_counts()
+    total_alloc = sum(counts.values())
+    total_mapped = sum(len(unit.mapped_clusters(lr))
+                       for lr in range(NUM_LOGICAL_REGS))
+    assert total_alloc == total_mapped

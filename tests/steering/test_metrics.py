@@ -1,0 +1,105 @@
+"""Unit and property tests for DCOUNT and NREADY (§2.3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.steering import DCountTracker, NReadyMeter
+
+
+class TestDCount:
+    def test_single_dispatch_updates_as_paper_describes(self):
+        tracker = DCountTracker(4)
+        tracker.dispatch(1)
+        assert tracker.counters == [-1, 3, -1, -1]
+
+    def test_sum_always_zero(self):
+        tracker = DCountTracker(4)
+        for cluster in (0, 1, 1, 3, 2, 1):
+            tracker.dispatch(cluster)
+            assert sum(tracker.counters) == 0
+
+    def test_counter_is_n_times_excess(self):
+        """Counter == N * (dispatched_here - average) (§2.3.2)."""
+        tracker = DCountTracker(4)
+        dispatches = [0, 0, 0, 1, 2, 3, 0, 0]
+        for cluster in dispatches:
+            tracker.dispatch(cluster)
+        per = [dispatches.count(c) for c in range(4)]
+        avg = len(dispatches) / 4
+        assert tracker.counters == [round(4 * (p - avg)) for p in per]
+
+    def test_imbalance_and_least_loaded(self):
+        tracker = DCountTracker(2)
+        for _ in range(3):
+            tracker.dispatch(0)
+        assert tracker.imbalance() == 3   # single counter pair, |±3|
+        assert tracker.least_loaded() == 1
+
+    def test_least_loaded_among_restricts(self):
+        tracker = DCountTracker(4)
+        tracker.dispatch(2)
+        tracker.dispatch(2)
+        # cluster 3 is globally least-loaded-tied, but restrict to {1, 2}
+        assert tracker.least_loaded_among([1, 2]) == 1
+        assert tracker.least_loaded_among([2]) == 2
+
+    def test_two_cluster_single_counter_property(self):
+        """§2.3.2: 'in the case of two clusters a single counter will
+        suffice' — the two counters are always negatives of each other."""
+        tracker = DCountTracker(2)
+        for cluster in (0, 1, 1, 1, 0):
+            tracker.dispatch(cluster)
+            assert tracker.counters[0] == -tracker.counters[1]
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=200))
+    def test_invariants_hold_for_any_sequence(self, dispatches):
+        tracker = DCountTracker(4)
+        for cluster in dispatches:
+            tracker.dispatch(cluster)
+        assert sum(tracker.counters) == 0
+        assert tracker.imbalance() >= 0
+        assert tracker.counters[tracker.least_loaded()] == min(
+            tracker.counters)
+
+
+class TestNReady:
+    def test_no_leftover_means_zero(self):
+        meter = NReadyMeter(4)
+        meter.record([0, 0, 0, 0], [2, 2, 2, 2], [0, 0, 0, 0], [1, 1, 1, 1])
+        assert meter.average == 0.0
+
+    def test_stuck_work_matched_to_other_clusters_idle(self):
+        meter = NReadyMeter(2)
+        # 2 stuck int instructions in cluster 0; cluster 1 has 1 idle slot.
+        meter.record([2, 0], [0, 1], [0, 0], [0, 0])
+        assert meter.total == 1
+
+    def test_own_cluster_idle_does_not_count(self):
+        meter = NReadyMeter(2)
+        # Cluster 0 somehow reports stuck + idle (mul/div corner): its own
+        # idle capacity must not absorb its own leftover.
+        meter.record([1, 0], [1, 0], [0, 0], [0, 0])
+        assert meter.total == 0
+
+    def test_sides_accumulate_independently(self):
+        meter = NReadyMeter(2)
+        meter.record([1, 0], [0, 1], [2, 0], [0, 2])
+        assert meter.total == 3
+
+    def test_average_over_cycles(self):
+        meter = NReadyMeter(2)
+        meter.record([1, 0], [0, 1], [0, 0], [0, 0])
+        meter.record([0, 0], [1, 1], [0, 0], [1, 1])
+        assert meter.average == 0.5
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=4,
+                    max_size=4),
+           st.lists(st.integers(min_value=0, max_value=4), min_size=4,
+                    max_size=4))
+    def test_bounded_by_both_sides(self, leftover, idle):
+        meter = NReadyMeter(4)
+        meter.record(leftover, idle, [0] * 4, [0] * 4)
+        assert meter.total <= sum(leftover)
+        assert meter.total <= sum(idle)

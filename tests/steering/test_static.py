@@ -1,0 +1,75 @@
+"""Tests for profile-driven static partitioning."""
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.steering import (DCountTracker, StaticSteerer,
+                            profile_static_assignment)
+from repro.workloads import workload_trace
+
+from ..conftest import make_dyn
+
+
+class TestProfile:
+    def test_assigns_every_profiled_pc(self):
+        trace = workload_trace("rawcaudio", 3000)
+        assignment = profile_static_assignment(trace, 4)
+        pcs = {d.pc for d in trace}
+        assert set(assignment) == pcs
+        assert all(0 <= c < 4 for c in assignment.values())
+
+    def test_dependent_instructions_colocate(self):
+        # A producer/consumer pair repeated many times must share a home.
+        trace = []
+        for i in range(50):
+            trace.append(make_dyn(2 * i, 0x1000, op="li", dest=1,
+                                  result=i))
+            trace.append(make_dyn(2 * i + 1, 0x1004, op="add", dest=2,
+                                  srcs=(1, 1), src_values=(i, i)))
+        assignment = profile_static_assignment(trace, 4)
+        assert assignment[0x1000] == assignment[0x1004]
+
+    def test_independent_work_spreads(self):
+        trace = []
+        seq = 0
+        for i in range(40):
+            for k in range(4):
+                trace.append(make_dyn(seq, 0x2000 + 4 * k, op="li",
+                                      dest=1 + k, result=i))
+                seq += 1
+        assignment = profile_static_assignment(trace, 4)
+        assert len(set(assignment.values())) == 4
+
+    def test_cluster_count_validated(self):
+        with pytest.raises(ValueError):
+            profile_static_assignment([], 0)
+
+
+class TestStaticSteerer:
+    def test_follows_assignment(self):
+        steerer = StaticSteerer(4, {0x1000: 2})
+        dcount = DCountTracker(4)
+        assert steerer.choose([], dcount, pc=0x1000) == 2
+
+    def test_unprofiled_pc_falls_back_to_least_loaded(self):
+        steerer = StaticSteerer(4, {})
+        dcount = DCountTracker(4)
+        dcount.dispatch(0)
+        assert steerer.choose([], dcount, pc=0x9999) == dcount.least_loaded()
+
+    def test_out_of_range_assignment_wrapped(self):
+        steerer = StaticSteerer(2, {0x1000: 7})
+        assert steerer.choose([], DCountTracker(2), pc=0x1000) == 1
+
+
+class TestEndToEnd:
+    def test_static_runs_and_loses_to_dynamic(self):
+        trace = workload_trace("cjpeg", 6000)
+        assignment = profile_static_assignment(trace, 4)
+        static = simulate(list(trace),
+                          make_config(4, steering="static",
+                                      static_assignment=assignment))
+        dynamic = simulate(list(trace), make_config(4))
+        assert static.stats.committed_insts == len(trace)
+        assert dynamic.ipc > static.ipc
+        assert static.comm_per_inst < dynamic.comm_per_inst

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "cjpeg" in out and "encryption" in out
+
+
+def test_simulate_prints_summary(capsys):
+    code = main(["simulate", "rawcaudio", "--clusters", "2",
+                 "--predictor", "stride", "--steering", "vpb",
+                 "--length", "2000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "communications/inst" in out
+
+
+def test_simulate_with_interconnect_knobs(capsys):
+    main(["simulate", "rawcaudio", "--length", "1500",
+          "--comm-latency", "4", "--paths", "1"])
+    assert "L4" in capsys.readouterr().out
+
+
+def test_figure_command_with_subset(capsys):
+    main(["figure2", "--workloads", "rawcaudio", "--length", "1500"])
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "AVERAGE" in out
+
+
+def test_headline_with_subset(capsys):
+    main(["headline", "--workloads", "rawcaudio", "--length", "1500"])
+    assert "ipcr4_vpb" in capsys.readouterr().out
+
+
+def test_unknown_workload_in_subset_rejected():
+    with pytest.raises(SystemExit, match="unknown workloads"):
+        main(["figure2", "--workloads", "bogus", "--length", "1000"])
+
+
+def test_bad_simulate_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "bogus"])
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("figure2", "figure3", "figure4a", "figure4b",
+                    "figure5", "headline", "ablations", "simulate"):
+        assert command in text

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs and prints sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=True)
+
+
+def test_quickstart_runs_and_reports_ipcr():
+    proc = run_example("quickstart.py", "rawcaudio", "3000")
+    assert "IPC" in proc.stdout
+    assert "4 cluster" in proc.stdout
+    assert "Value prediction" in proc.stdout
+
+
+def test_steering_comparison_lists_all_schemes():
+    proc = run_example("steering_comparison.py", "3000")
+    for scheme in ("baseline, no VP", "modified", "VPB", "perfect"):
+        assert scheme in proc.stdout
+
+
+def test_wire_delay_sweep_prints_both_figures():
+    proc = run_example("wire_delay_sweep.py", "2500")
+    assert "Figure 4(a)" in proc.stdout
+    assert "Figure 4(b)" in proc.stdout
+    assert "unbounded" in proc.stdout
+
+
+def test_custom_workload_assembles_and_matches_builder():
+    proc = run_example("custom_workload.py")
+    assert "same instruction stream" in proc.stdout
+    assert "IPC" in proc.stdout
+
+
+def test_quickstart_rejects_unknown_workload():
+    with pytest.raises(subprocess.CalledProcessError):
+        run_example("quickstart.py", "not-a-benchmark", "1000")
+
+
+def test_pipeline_viewer_shows_helper_rows():
+    proc = run_example("pipeline_viewer.py", "cjpeg", "100", "10")
+    assert "[copy]" in proc.stdout or "[vcopy]" in proc.stdout
+    assert "4 clusters" in proc.stdout

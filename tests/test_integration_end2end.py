@@ -1,0 +1,99 @@
+"""Cross-module integration tests: the paper's claims in miniature.
+
+These run the real suite (short traces) through the real configurations
+and assert the *directions* the paper reports.  The full-scale versions
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro import make_config, simulate
+from repro.analysis import mean
+from repro.workloads import workload_trace
+
+WORKLOADS = ["cjpeg", "gsmdec", "mpeg2enc", "pgpenc", "mesaosdemo"]
+LENGTH = 6000
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Simulate a representative subset over the key configurations."""
+    out = {}
+    for name in WORKLOADS:
+        trace = workload_trace(name, LENGTH)
+        for key, config in {
+            "1c": make_config(1),
+            "1c+vp": make_config(1, predictor="stride"),
+            "2c": make_config(2),
+            "4c": make_config(4),
+            "4c+vp": make_config(4, predictor="stride"),
+            "4c+vpb": make_config(4, predictor="stride", steering="vpb"),
+            "4c+perfect": make_config(4, predictor="perfect",
+                                      steering="vpb"),
+        }.items():
+            out[(name, key)] = simulate(list(trace), config)
+    return out
+
+
+def avg(results, key, metric="ipc"):
+    return mean(getattr(results[(name, key)], metric)
+                for name in WORKLOADS)
+
+
+class TestClusteringDegradation:
+    def test_ipc_monotone_in_cluster_count(self, results):
+        assert avg(results, "1c") > avg(results, "2c") > avg(results, "4c")
+
+    def test_every_benchmark_degrades_at_4c(self, results):
+        for name in WORKLOADS:
+            assert (results[(name, "4c")].ipc
+                    < results[(name, "1c")].ipc), name
+
+    def test_communications_grow_with_clusters(self, results):
+        assert (avg(results, "4c", "comm_per_inst")
+                > avg(results, "2c", "comm_per_inst") > 0)
+
+
+class TestValuePredictionBenefit:
+    def test_vp_helps_clustered_more_than_centralized(self, results):
+        gain_1c = avg(results, "1c+vp") / avg(results, "1c")
+        gain_4c = avg(results, "4c+vp") / avg(results, "4c")
+        assert gain_4c > gain_1c - 0.01
+
+    def test_vpb_beats_plain_baseline(self, results):
+        assert avg(results, "4c+vpb") > avg(results, "4c")
+
+    def test_vpb_cuts_communications(self, results):
+        assert (avg(results, "4c+vpb", "comm_per_inst")
+                < 0.75 * avg(results, "4c", "comm_per_inst"))
+
+    def test_perfect_prediction_is_the_upper_bound(self, results):
+        assert avg(results, "4c+perfect") >= avg(results, "4c+vpb")
+
+    def test_perfect_prediction_leaves_fp_comms_only(self, results):
+        for name in WORKLOADS:
+            result = results[(name, "4c+perfect")]
+            if name == "mesaosdemo":   # fp-heavy: some comms remain
+                assert result.comm_per_inst >= 0.0
+            else:                      # integer-only: none remain
+                assert result.comm_per_inst < 0.02, name
+
+
+class TestStatisticalPlumbing:
+    def test_all_traces_fully_committed(self, results):
+        for (name, key), result in results.items():
+            assert result.stats.committed_insts == LENGTH, (name, key)
+
+    def test_branch_prediction_quality_reasonable(self, results):
+        for name in WORKLOADS:
+            accuracy = results[(name, "1c")].bp_stats["accuracy"]
+            assert accuracy > 0.80, name
+
+    def test_vp_stats_in_paper_ballpark(self, results):
+        """Figure 5(b): hit ratio ~90%+, sizeable non-confident share."""
+        hits = [results[(name, "4c+vp")].vp_stats["hit_ratio"]
+                for name in WORKLOADS]
+        confs = [results[(name, "4c+vp")].vp_stats["confident_fraction"]
+                 for name in WORKLOADS]
+        assert mean(hits) > 0.85
+        assert 0.25 < mean(confs) < 0.95

@@ -1,0 +1,42 @@
+"""Tests for the deterministic data generators."""
+
+from repro.workloads.datagen import (audio_words, float_noise, float_ramp,
+                                     image_words, lcg_stream, noise_words,
+                                     ramp_words)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert lcg_stream(7, 50) == lcg_stream(7, 50)
+
+    def test_different_seeds_differ(self):
+        assert lcg_stream(7, 50) != lcg_stream(8, 50)
+
+
+class TestShapes:
+    def test_noise_respects_bit_width(self):
+        values = noise_words(3, 500, bits=8)
+        assert all(0 <= v < 256 for v in values)
+        assert max(values) > 200   # actually spreads over the range
+
+    def test_image_values_are_bytes_and_correlated(self):
+        values = image_words(5, 400)
+        assert all(0 <= v < 256 for v in values)
+        small_diffs = sum(1 for a, b in zip(values, values[1:])
+                          if abs(a - b) <= 16)
+        assert small_diffs / len(values) > 0.6
+
+    def test_audio_values_in_16bit_range(self):
+        values = audio_words(9, 500)
+        assert all(-32768 <= v <= 32767 for v in values)
+        assert min(values) < 0 < max(values)
+
+    def test_ramp(self):
+        assert ramp_words(5, 4, 3) == [5, 8, 11, 14]
+
+    def test_float_noise_in_scale(self):
+        values = float_noise(2, 300, scale=4.0)
+        assert all(0.0 <= v < 4.0 for v in values)
+
+    def test_float_ramp(self):
+        assert float_ramp(1.0, 3, 0.5) == [1.0, 1.5, 2.0]

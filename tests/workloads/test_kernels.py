@@ -1,0 +1,267 @@
+"""Functional correctness of the kernel library.
+
+Each kernel is run through the functional executor and its memory
+effects checked against a Python reference implementation.
+"""
+
+import pytest
+
+from repro.isa import ProgramBuilder, execute
+from repro.workloads import kernels
+from repro.workloads.datagen import noise_words
+
+
+def run_kernel(setup):
+    """Build a program around one kernel; returns (program, memory)."""
+    b = ProgramBuilder()
+    finish = setup(b)
+    b.emit("halt")
+    program = b.build()
+    execute(program, 500_000)
+    return program.memory, finish
+
+
+class TestFirFilter:
+    def test_matches_reference(self):
+        src = list(range(1, 25))
+        taps = [2, -1, 3, 1]
+        def setup(b):
+            a_src = b.data("src", src)
+            a_coef = b.data("coef", taps)
+            a_dst = b.zeros("dst", 16)
+            kernels.fir_filter(b, "t", a_src, a_coef, a_dst, 16, 4)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        for i in range(16):
+            expected = sum(src[i + j] * taps[j] for j in range(4)) >> 6
+            assert memory.load(dst + 4 * i) == expected
+
+    def test_tap_budget_enforced(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError, match="1..8"):
+            kernels.fir_filter(b, "t", 0, 0, 0, 4, 9)
+
+
+class TestIirBiquad:
+    def test_recurrence_matches_reference(self):
+        src = [100, -50, 75, 30, -10, 5, 60, -20]
+        b0, b1, a1 = 25, -11, 9
+        def setup(b):
+            a_src = b.data("src", src)
+            a_dst = b.zeros("dst", len(src))
+            kernels.iir_biquad(b, "t", a_src, a_dst, len(src), b0, b1, a1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        x1 = y1 = 0
+        for i, x in enumerate(src):
+            y = (b0 * x + b1 * x1 - a1 * y1) >> 8
+            assert memory.load(dst + 4 * i) == y
+            x1, y1 = x, y
+
+
+class TestDct8:
+    def test_dc_term_is_block_sum(self):
+        block = [1, 2, 3, 4, 5, 6, 7, 8]
+        def setup(b):
+            a_src = b.data("src", block)
+            a_dst = b.zeros("dst", 8)
+            kernels.dct8_blocks(b, "t", a_src, a_dst, 1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert memory.load(dst) == sum(block)
+
+    def test_energy_preserved_roughly(self):
+        block = [10, 0, 0, 0, 0, 0, 0, 0]
+        def setup(b):
+            a_src = b.data("src", block)
+            a_dst = b.zeros("dst", 8)
+            kernels.dct8_blocks(b, "t", a_src, a_dst, 1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        out = [memory.load(dst + 4 * i) for i in range(8)]
+        assert any(out)
+
+
+class TestQuantizers:
+    def test_reciprocal_quantize(self):
+        src = [1000, 2000, 4000, 8000]
+        rtable = [16384 // 4] * 4
+        def setup(b):
+            a_src = b.data("src", src)
+            a_rt = b.data("rt", rtable)
+            a_dst = b.zeros("dst", 4)
+            kernels.quantize(b, "t", a_src, a_rt, a_dst, 4, 4)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        for i, value in enumerate(src):
+            assert memory.load(dst + 4 * i) == (value * rtable[0]) >> 14
+
+    def test_divide_quantize(self):
+        src = [100, 101, 99, 7]
+        qtable = [7, 7, 7, 7]
+        def setup(b):
+            a_src = b.data("src", src)
+            a_qt = b.data("qt", qtable)
+            a_dst = b.zeros("dst", 4)
+            kernels.quantize_div(b, "t", a_src, a_qt, a_dst, 4, 4)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert [memory.load(dst + 4 * i) for i in range(4)] == [14, 14, 14, 1]
+
+    def test_dequantize_multiplies(self):
+        src = [3, -4]
+        qtable = [5, 6]
+        def setup(b):
+            a_src = b.data("src", src)
+            a_qt = b.data("qt", qtable)
+            a_dst = b.zeros("dst", 2)
+            kernels.dequantize(b, "t", a_src, a_qt, a_dst, 2, 2)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert memory.load(dst) == 15
+        assert memory.load(dst + 4) == -24
+
+
+class TestHuffmanScan:
+    def test_histogram_counts_magnitude_classes(self):
+        # classes: <16 -> 0, <64 -> 1, <128 -> 2, else 3 (on |v| clamped)
+        src = [3, -3, 20, 100, 900, 15, 64, 128]
+        # |64| -> class 2 (not < 64), |128| -> class 3 (not < 128)
+        def setup(b):
+            a_src = b.data("src", src)
+            a_hist = b.zeros("hist", 8)
+            kernels.huffman_scan(b, "t", a_src, a_hist, len(src))
+            return a_hist
+        memory, hist = run_kernel(setup)
+        counts = [memory.load(hist + 4 * i) for i in range(4)]
+        assert counts == [3, 1, 2, 2]
+
+
+class TestColorConvert:
+    def test_luma_formula(self):
+        src = [10, 20, 30]
+        def setup(b):
+            a_src = b.data("src", src)
+            a_dst = b.zeros("dst", 1)
+            kernels.color_convert(b, "t", a_src, a_dst, 1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        expected = (66 * 10 + 129 * 20 + 25 * 30 + 4096) >> 8
+        assert memory.load(dst) == expected
+
+
+class TestMemcpyAndBitunpack:
+    def test_memcpy_words(self):
+        src = list(range(40, 56))
+        def setup(b):
+            a_src = b.data("src", src)
+            a_dst = b.zeros("dst", 16)
+            kernels.memcpy_words(b, "t", a_src, a_dst, 16)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert [memory.load(dst + 4 * i) for i in range(16)] == src
+
+    def test_bitunpack_fields(self):
+        word = 0x04030201
+        def setup(b):
+            a_src = b.data("src", [word])
+            a_dst = b.zeros("dst", 4)
+            kernels.bitunpack(b, "t", a_src, a_dst, 1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert [memory.load(dst + 4 * i) for i in range(4)] == [1, 2, 3, 4]
+
+
+class TestHistogram:
+    def test_bucket_counting(self):
+        src = [0, 1, 1, 65, 63, 63, 63]
+        def setup(b):
+            a_src = b.data("src", src)
+            a_hist = b.zeros("hist", 64)
+            kernels.histogram(b, "t", a_src, a_hist, len(src))
+            return a_hist
+        memory, hist = run_kernel(setup)
+        assert memory.load(hist + 0) == 1
+        assert memory.load(hist + 4) == 3        # 1, 1, and 65 & 63
+        assert memory.load(hist + 4 * 63) == 3
+
+
+class TestAdpcm:
+    def test_output_clamped_to_16_bits(self):
+        codes = noise_words(5, 64, bits=4)
+        def setup(b):
+            from repro.workloads.media_audio import _STEP_TABLE
+            a_codes = b.data("codes", codes)
+            a_steps = b.data("steps", _STEP_TABLE)
+            a_dst = b.zeros("dst", 64)
+            kernels.adpcm_decode(b, "t", a_codes, a_steps, a_dst, 64)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        for i in range(64):
+            assert -32768 <= memory.load(dst + 4 * i) <= 32767
+
+
+class TestFpKernels:
+    def test_texture_lerp_interpolates_within_bounds(self):
+        texels = [float(v) for v in range(1, 17)]
+        def setup(b):
+            a_tex = b.data("tex", texels, elem_size=8)
+            a_dst = b.zeros("dst", 4, elem_size=8)
+            kernels.texture_lerp(b, "t", a_tex, a_dst, 4)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        for i in range(4):
+            quad = texels[4 * i: 4 * i + 4]
+            value = memory.load(dst + 8 * i)
+            assert min(quad) * 0.9 <= value <= max(quad) * 2.1
+
+    def test_vertex_transform_identity(self):
+        identity = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+        verts = [1.0, 2.0, 3.0, -4.0, 5.0, -6.0]
+        def setup(b):
+            a_v = b.data("v", verts, elem_size=8)
+            a_m = b.data("m", identity, elem_size=8)
+            a_dst = b.zeros("dst", 6, elem_size=8)
+            kernels.vertex_transform(b, "t", a_v, a_m, a_dst, 2)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        assert [memory.load(dst + 8 * i) for i in range(6)] == verts
+
+    def test_fp_poly_horner(self):
+        def setup(b):
+            a_src = b.data("src", [2.0], elem_size=8)
+            a_dst = b.zeros("dst", 1, elem_size=8)
+            kernels.fp_poly_eval(b, "t", a_src, a_dst, 1)
+            return a_dst
+        memory, dst = run_kernel(setup)
+        x = 2.0
+        expected = ((7 * x - 5) * x + 3) * x + 1
+        assert memory.load(dst) == pytest.approx(expected)
+
+
+class TestKernelConventions:
+    def test_kernels_do_not_touch_outer_registers(self):
+        """Kernels must leave r1..r7 alone (the documented contract)."""
+        def setup(b):
+            for i in range(1, 8):
+                b.emit("li", f"r{i}", 1000 + i)
+            a_src = b.data("src", list(range(32)))
+            a_hist = b.zeros("h", 64)
+            kernels.histogram(b, "t", a_src, a_hist, 32)
+            a_probe = b.zeros("probe", 8)
+            for i in range(1, 8):
+                b.emit("li", "r31", a_probe + 4 * i)
+                b.emit("sw", f"r{i}", "r31", 0)
+            return a_probe
+        memory, probe = run_kernel(setup)
+        for i in range(1, 8):
+            assert memory.load(probe + 4 * i) == 1000 + i
+
+    def test_kernel_tags_allow_multiple_instantiation(self):
+        b = ProgramBuilder()
+        a_src = b.data("src", list(range(16)))
+        a_dst = b.zeros("dst", 16)
+        kernels.memcpy_words(b, "one", a_src, a_dst, 8)
+        kernels.memcpy_words(b, "two", a_src, a_dst, 8)
+        b.emit("halt")
+        execute(b.build())   # must build and run without label clashes

@@ -1,0 +1,54 @@
+"""Structural checks of the Mediabench stand-in builders."""
+
+import pytest
+
+from repro.isa import execute
+from repro.workloads import build_workload, workload_names
+from repro.workloads.media_audio import _STEP_TABLE
+from repro.workloads import media_3d, media_audio, media_crypto, media_image
+
+
+class TestStaticFootprint:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_table2_like_static_size(self, name):
+        """Replicated pipelines give realistic static footprints."""
+        program = build_workload(name)
+        assert 300 <= program.static_size <= 1500, name
+
+    def test_replica_constants_sane(self):
+        for module in (media_image, media_audio, media_3d, media_crypto):
+            assert module.REPLICAS >= 4
+
+
+class TestProgramShape:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_outer_loop_repeats_forever(self, name):
+        """Every stand-in is an unbounded frame loop ended by the cap."""
+        program = build_workload(name)
+        trace = execute(program, 500)
+        assert len(trace) == 500   # cap, not halt, ended the run
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_fresh_builds_are_identical(self, name):
+        a = [i.op.name for i in build_workload(name).instructions]
+        b = [i.op.name for i in build_workload(name).instructions]
+        assert a == b
+
+    def test_replicas_share_data_but_not_code(self):
+        """Pipeline replicas are distinct code over the same arrays."""
+        program = build_workload("cjpeg")
+        trace = execute(program, 25_000)
+        load_addrs = {d.mem_addr for d in trace if d.is_load}
+        pcs = {d.pc for d in trace}
+        # more code than one replica's worth...
+        assert len(pcs) > 2 * (program.static_size // media_image.REPLICAS)
+        # ...but the data working set stays bounded (shared arrays).
+        assert len(load_addrs) < 1500
+
+
+class TestAdpcmTable:
+    def test_real_ima_step_table(self):
+        assert _STEP_TABLE[0] == 7
+        assert _STEP_TABLE[-1] == 32767
+        assert len(_STEP_TABLE) == 89
+        assert all(a < b for a, b in zip(_STEP_TABLE, _STEP_TABLE[1:]))

@@ -1,0 +1,45 @@
+"""Tests for the trace-statistics helper."""
+
+import pytest
+
+from repro.isa import execute
+from repro.workloads import synthetic, trace_statistics, workload_trace
+
+
+def test_counts_and_fractions_consistent():
+    trace = workload_trace("cjpeg", 4000)
+    stats = trace_statistics(trace)
+    assert stats["instructions"] == 4000
+    assert stats["loads"] + stats["stores"] <= 4000
+    assert stats["load_fraction"] == pytest.approx(
+        stats["loads"] / 4000)
+    assert 0 <= stats["branch_taken_rate"] <= 1
+    assert stats["static_pcs"] > 50
+    assert sum(stats["top_opcodes"].values()) <= 4000
+
+
+def test_fp_fraction_zero_for_integer_code():
+    trace = execute(synthetic.counted_loop(4), 2000)
+    stats = trace_statistics(trace)
+    assert stats["fp_fraction"] == 0.0
+    assert stats["int_divs"] == 0
+
+
+def test_fp_fraction_positive_for_fp_code():
+    trace = execute(synthetic.fp_chain(8), 2000)
+    stats = trace_statistics(trace)
+    assert stats["fp_fraction"] > 0.5
+
+
+def test_empty_trace_safe():
+    stats = trace_statistics([])
+    assert stats["instructions"] == 0
+    assert stats["load_fraction"] == 0.0
+    assert stats["branch_taken_rate"] == 0.0
+
+
+def test_taken_rate_matches_loop_shape():
+    # A counted loop's back-edge is taken every iteration but the last.
+    trace = execute(synthetic.counted_loop(2), 3000)
+    stats = trace_statistics(trace)
+    assert stats["branch_taken_rate"] > 0.9

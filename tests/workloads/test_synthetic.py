@@ -1,0 +1,62 @@
+"""Tests of the parametric microbenchmarks' intended shapes."""
+
+import pytest
+
+from repro.isa import execute
+from repro.workloads import synthetic
+
+
+class TestBuildAndRun:
+    @pytest.mark.parametrize("factory", [
+        synthetic.serial_chain, synthetic.parallel_chains,
+        synthetic.counted_loop, synthetic.strided_stream,
+        synthetic.random_branches, synthetic.store_load_pairs,
+        synthetic.fp_chain])
+    def test_builds_and_traces(self, factory):
+        trace = execute(factory(), 2000)
+        assert len(trace) == 2000
+
+
+class TestShapes:
+    def test_serial_chain_is_one_dependence_chain(self):
+        trace = execute(synthetic.serial_chain(16), 500)
+        adds = [d for d in trace if d.op.name == "add"]
+        # every add reads what the previous add wrote
+        assert all(d.dest == d.srcs[0] == d.srcs[1] for d in adds)
+
+    def test_parallel_chains_register_budget(self):
+        with pytest.raises(ValueError):
+            synthetic.parallel_chains(chains=21)
+
+    def test_parallel_chains_are_independent(self):
+        trace = execute(synthetic.parallel_chains(4, 4), 400)
+        adds = {d.dest for d in trace if d.op.name == "add"}
+        assert len(adds) == 4
+
+    def test_strided_stream_addresses_are_sequential(self):
+        trace = execute(synthetic.strided_stream(64), 1500)
+        addrs = [d.mem_addr for d in trace if d.is_load]
+        diffs = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert 4 in diffs                    # the stride
+        assert all(d in (4, -63 * 4) for d in diffs)   # plus the wrap
+
+    def test_random_branches_mix_taken_and_not(self):
+        trace = execute(synthetic.random_branches(256), 4000)
+        inner = [d for d in trace if d.op.name == "beq"]
+        taken_fraction = sum(d.taken for d in inner) / len(inner)
+        assert 0.3 < taken_fraction < 0.7
+
+    def test_store_load_pairs_alternate(self):
+        trace = execute(synthetic.store_load_pairs(32), 1000)
+        stores = [d for d in trace if d.is_store]
+        loads = [d for d in trace if d.is_load]
+        assert stores and loads
+        store_addrs = {d.mem_addr for d in stores}
+        load_addrs = {d.mem_addr for d in loads}
+        assert store_addrs & load_addrs      # real overlap
+
+    def test_fp_chain_is_serial_fp(self):
+        trace = execute(synthetic.fp_chain(8), 500)
+        fadds = [d for d in trace if d.op.name == "fadd"]
+        assert fadds
+        assert all(d.dest == d.srcs[0] for d in fadds)

@@ -1,0 +1,27 @@
+# Developer entry points. The repo has no build step; these wrap the
+# test suite, the figure benchmarks, and the robustness harness.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test benchmarks campaign check clean-results
+
+test:
+	$(PYTHON) -m pytest tests/ -x -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# The robustness campaign: seeds x fault kinds under the golden model,
+# report in results/robustness_campaign.txt, exit 1 on any regression.
+campaign:
+	$(PYTHON) -m repro campaign
+
+# The full gate: unit suite plus a small campaign smoke.
+check: test
+	$(PYTHON) -m repro campaign --workloads rawcaudio --length 2000 --seeds 2
+
+clean-results:
+	rm -rf results/

@@ -18,10 +18,12 @@ Quickstart::
 
 from .core import (ProcessorConfig, Processor, SimResult, SimStats,
                    make_config, run_trace, simulate)
-from .errors import ReproError, SimulationError
+from .errors import (ConfigError, DeadlockError, DivergenceError, ReproError,
+                     SimulationError, WorkloadError)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["ProcessorConfig", "Processor", "SimResult", "SimStats",
            "make_config", "run_trace", "simulate",
-           "ReproError", "SimulationError", "__version__"]
+           "ReproError", "SimulationError", "ConfigError", "WorkloadError",
+           "DivergenceError", "DeadlockError", "__version__"]

@@ -1,8 +1,10 @@
 """Experiment drivers and reporting for every table/figure of the paper."""
 
-from .experiments import (AblationResult, Figure2Result, Figure3Result,
-                          Figure4Result, Figure5Result, HeadlineResult,
-                          run_ablation_free_copies,
+from .experiments import (AblationResult, ErrorLedger, Figure2Result,
+                          Figure3Result, Figure4Result, Figure5Result,
+                          GracefulSweepResult, HeadlineResult, LedgerEntry,
+                          run_ablation_free_copies, run_graceful_sweep,
+                          run_one_safe,
                           run_ablation_modified, run_ablation_predictor,
                           run_ablation_rename2,
                           run_figure2, run_figure3, run_figure4_bandwidth,
@@ -24,6 +26,8 @@ from .timeline import (TimelineProcessor, capture_timeline,
 __all__ = [
     "AblationResult", "Figure2Result", "Figure3Result", "Figure4Result",
     "Figure5Result", "HeadlineResult",
+    "ErrorLedger", "LedgerEntry", "GracefulSweepResult",
+    "run_one_safe", "run_graceful_sweep",
     "run_ablation_free_copies",
     "run_ablation_modified", "run_ablation_predictor",
     "run_ablation_rename2", "run_figure2",

@@ -15,14 +15,18 @@ Environment knobs (respected by all drivers):
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import SimResult, make_config, simulate
+from ..errors import WorkloadError
 from ..workloads import workload_names, workload_trace
 from .metrics import mean, pct_change
 
 __all__ = [
     "trace_length", "selected_workloads", "run_one",
+    "LedgerEntry", "ErrorLedger", "run_one_safe",
+    "GracefulSweepResult", "run_graceful_sweep",
     "Figure2Result", "run_figure2",
     "Figure3Result", "run_figure3",
     "Figure4Result", "run_figure4_latency", "run_figure4_bandwidth",
@@ -49,7 +53,8 @@ def selected_workloads() -> List[str]:
     known = set(workload_names())
     unknown = [name for name in names if name not in known]
     if unknown:
-        raise ValueError(f"unknown workloads in REPRO_WORKLOADS: {unknown}")
+        raise WorkloadError(
+            f"unknown workloads in REPRO_WORKLOADS: {unknown}")
     return names
 
 
@@ -62,6 +67,120 @@ def run_one(workload: str, n_clusters: int, predictor: str = "none",
     config = make_config(n_clusters, predictor=predictor, steering=steering,
                          **overrides)
     return simulate(list(trace), config)
+
+
+# --------------------------------------------------- graceful degradation --
+
+@dataclass
+class LedgerEntry:
+    """One failed simulation attempt inside a sweep."""
+
+    workload: str
+    config: str
+    attempt: int
+    error_type: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.workload} [{self.config}] attempt {self.attempt}: "
+                f"{self.error_type}: {self.message}")
+
+
+@dataclass
+class ErrorLedger:
+    """Failures collected by a sweep that refused to abort.
+
+    A multi-hour sweep must not lose every finished cell to one bad
+    (workload, configuration) pair, but it must not lose the *failure*
+    either — each one lands here with enough context to replay it.
+    """
+
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def record(self, workload: str, config: str, attempt: int,
+               error: BaseException) -> None:
+        self.entries.append(LedgerEntry(
+            workload, config, attempt, type(error).__name__, str(error)))
+
+    @property
+    def failed_cells(self) -> List[Tuple[str, str]]:
+        """Distinct (workload, config) pairs that never succeeded."""
+        seen: List[Tuple[str, str]] = []
+        for entry in self.entries:
+            key = (entry.workload, entry.config)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def render(self) -> str:
+        if not self.entries:
+            return "error ledger: clean (no failures)"
+        lines = [f"error ledger: {len(self.entries)} failed attempt(s)"]
+        lines += [f"  {entry.render()}" for entry in self.entries]
+        return "\n".join(lines)
+
+
+def run_one_safe(workload: str, n_clusters: int, predictor: str = "none",
+                 steering: str = "baseline", length: Optional[int] = None,
+                 ledger: Optional[ErrorLedger] = None, retries: int = 1,
+                 **overrides) -> Optional[SimResult]:
+    """:func:`run_one` that degrades gracefully instead of aborting.
+
+    A failing cell is retried up to *retries* more times (transient
+    failures — an injected-fault run tripping a watchdog, a flaky
+    workload generator — often pass on replay); every failed attempt is
+    recorded in *ledger*.  Returns ``None`` when all attempts failed.
+    """
+    label = f"{n_clusters}cl/{predictor}/{steering}"
+    for attempt in range(1 + max(0, retries)):
+        try:
+            return run_one(workload, n_clusters, predictor=predictor,
+                           steering=steering, length=length, **overrides)
+        except Exception as error:  # noqa: BLE001 - the sweep must survive
+            if ledger is not None:
+                ledger.record(workload, label, attempt + 1, error)
+    return None
+
+
+@dataclass
+class GracefulSweepResult:
+    """Completed cells plus the ledger of the ones that failed."""
+
+    ipc: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    ledger: ErrorLedger = field(default_factory=ErrorLedger)
+
+    @property
+    def completed(self) -> int:
+        return len(self.ipc)
+
+
+def run_graceful_sweep(workloads: Sequence[str] = None,
+                       configs: Sequence[Tuple[int, str, str]] = (
+                           (4, "none", "baseline"), (4, "stride", "vpb")),
+                       length: Optional[int] = None,
+                       retries: int = 1) -> GracefulSweepResult:
+    """Sweep (workload x config) cells, never aborting on a bad cell.
+
+    The robustness harness's answer to a poisoned workload or a
+    pathological configuration: every healthy cell still produces its
+    IPC, and every failure is in ``result.ledger``.
+    """
+    result = GracefulSweepResult()
+    for name in (workloads or selected_workloads()):
+        for n_clusters, predictor, steering in configs:
+            sim = run_one_safe(name, n_clusters, predictor=predictor,
+                               steering=steering, length=length,
+                               ledger=result.ledger, retries=retries)
+            if sim is not None:
+                key = (name, f"{n_clusters}cl/{predictor}/{steering}")
+                result.ipc[key] = sim.ipc
+    return result
 
 
 # --------------------------------------------------------------- Figure 2 --

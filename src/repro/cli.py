@@ -9,22 +9,36 @@ Commands:
 * ``headline`` — the §6 paper-vs-measured summary table.
 * ``ablations`` — the §3.2/§3.3 side experiments plus this repo's own
   predictor and free-copy ablations.
+* ``campaign`` — the fault-injection robustness campaign
+  (docs/ROBUSTNESS.md), written to ``results/robustness_campaign.txt``.
 
 Every figure command honours ``--workloads`` and ``--length`` (and the
 ``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN`` environment variables).
+
+Exit codes: 0 on success, 1 when the simulation itself failed
+(divergence, deadlock, ...), 2 on a usage error (bad flag values,
+unknown workload).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from . import analysis
 from .core import make_config, simulate
+from .errors import ConfigError, SimulationError, WorkloadError
+from .validation import FaultPlan, format_campaign, run_fault_campaign
 from .workloads import SUITE, workload_names, workload_trace
 
 __all__ = ["main", "build_parser"]
+
+#: ``main``'s exit codes (also asserted by the test suite).
+EXIT_OK = 0
+EXIT_SIMULATION_ERROR = 1
+EXIT_USAGE_ERROR = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +66,27 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--paths", type=int, default=None,
                      help="interconnect paths per cluster (default: "
                           "unbounded)")
+    sim.add_argument("--check", action="store_true",
+                     help="co-simulate against the golden model and fail "
+                          "on any divergence")
+    sim.add_argument("--inject", default=None, metavar="SPEC",
+                     help="fault-injection spec, e.g. 'value:0.02' or "
+                          "'value:0.05,steer:0.01@seed=7'")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="fault-injection robustness campaign (seeds x fault kinds)")
+    camp.add_argument("--workloads", default=None,
+                      help="comma-separated suite subset")
+    camp.add_argument("--length", type=int, default=None,
+                      help="dynamic instructions per benchmark")
+    camp.add_argument("--seeds", type=int, default=3,
+                      help="seeds per (workload, fault-kind) cell")
+    camp.add_argument("--rate", type=float, default=0.05,
+                      help="injection rate per opportunity")
+    camp.add_argument("--output", default=None,
+                      help="report path (default: "
+                           "results/robustness_campaign.txt)")
 
     for name, help_text in (
             ("figure2", "IPC of 1/2/4 clusters, +/- value prediction"),
@@ -88,14 +123,67 @@ def _cmd_list_workloads() -> None:
                          "Table 2 — Mediabench stand-in suite"))
 
 
+def _validate_simulate_args(args) -> None:
+    """Bounds-check numeric flags with actionable messages."""
+    if args.length < 1:
+        raise ConfigError(
+            f"--length must be a positive instruction count, "
+            f"got {args.length}")
+    if args.comm_latency < 1:
+        raise ConfigError(
+            f"--comm-latency must be >= 1 cycle, got {args.comm_latency} "
+            f"(the paper sweeps 1-4)")
+    if args.paths is not None and args.paths < 1:
+        raise ConfigError(
+            f"--paths must be >= 1, got {args.paths} "
+            f"(omit the flag for an unbounded interconnect)")
+
+
 def _cmd_simulate(args) -> None:
+    _validate_simulate_args(args)
+    fault_plan = FaultPlan.parse(args.inject) if args.inject else None
     trace = workload_trace(args.workload, args.length)
     config = make_config(args.clusters, predictor=args.predictor,
                          steering=args.steering,
                          comm_latency=args.comm_latency,
                          comm_paths_per_cluster=args.paths)
-    result = simulate(list(trace), config)
+    result = simulate(list(trace), config, check=args.check,
+                      fault_plan=fault_plan)
     print(result.summary())
+    if args.check:
+        print(f"golden check        : OK "
+              f"({result.validation.get('golden_commits', 0)} commits, "
+              f"{result.validation.get('golden_batches', 0)} batches)")
+    report = result.validation.get("fault_report")
+    if report is not None:
+        print(f"faults injected     : {report.total_injected} "
+              f"({result.validation.get('fault_plan', '')})")
+        print(f"value detection     : {report.detected_values}/"
+              f"{report.injected_values} "
+              f"({report.detection_rate:.0%})")
+
+
+def _cmd_campaign(args) -> None:
+    if args.seeds < 1:
+        raise ConfigError(f"--seeds must be >= 1, got {args.seeds}")
+    if not 0.0 < args.rate <= 1.0:
+        raise ConfigError(
+            f"--rate must be in (0, 1], got {args.rate}")
+    result = run_fault_campaign(workloads=_subset(args),
+                                seeds=tuple(range(args.seeds)),
+                                length=args.length, rate=args.rate)
+    report = format_campaign(result)
+    print(report)
+    path = args.output or os.path.join("results",
+                                       "robustness_campaign.txt")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    print(f"\nreport written to {path}")
+    if result.failures or result.detection_rate < 1.0:
+        raise SimulationError(
+            f"campaign found problems: {len(result.failures)} failed "
+            f"cell(s), detection rate {result.detection_rate:.0%}")
 
 
 def _cmd_figure(args) -> None:
@@ -145,15 +233,29 @@ def _cmd_figure(args) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    0 — success; 1 — the simulation failed (divergence, deadlock,
+    campaign regression); 2 — usage error (bad flag bounds, unknown
+    workload, malformed fault spec).
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "list-workloads":
-        _cmd_list_workloads()
-    elif args.command == "simulate":
-        _cmd_simulate(args)
-    else:
-        _cmd_figure(args)
-    return 0
+    try:
+        if args.command == "list-workloads":
+            _cmd_list_workloads()
+        elif args.command == "simulate":
+            _cmd_simulate(args)
+        elif args.command == "campaign":
+            _cmd_campaign(args)
+        else:
+            _cmd_figure(args)
+    except (ConfigError, WorkloadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    except SimulationError as error:
+        print(f"simulation error: {error}", file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

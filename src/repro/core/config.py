@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from ..errors import ConfigError
 from ..isa.opcodes import OpClass
 from ..isa.registers import NUM_LOGICAL_REGS
 
@@ -108,33 +109,43 @@ class ProcessorConfig:
     # Functional-unit latency overrides (OpClass -> cycles).
     latencies: Dict[OpClass, int] = field(default_factory=dict)
 
-    # Watchdog: abort if nothing commits for this many cycles.
+    # Watchdog: abort (DeadlockError + pipeline snapshot) if nothing
+    # commits for this many cycles.
     deadlock_cycles: int = 200_000
 
+    # Golden-model co-simulation: committed instructions are replayed
+    # against the functional trace in batches of this size when the
+    # co-simulator is enabled (see ``repro.validation.golden``).
+    golden_interval: int = 256
+
     def validate(self) -> None:
-        """Raise ``ValueError`` on inconsistent parameters."""
+        """Raise :class:`ConfigError` on inconsistent parameters."""
         if self.n_clusters < 1:
-            raise ValueError("n_clusters must be >= 1")
+            raise ConfigError("n_clusters must be >= 1")
         # Each bank must hold its share of the initial architectural
         # mapping (half the logical registers, spread over clusters)
         # with headroom for in-flight values.
         per_bank_logical = NUM_LOGICAL_REGS // 2
         min_pregs = (per_bank_logical + self.n_clusters - 1) // self.n_clusters
         if self.pregs_per_cluster <= min_pregs:
-            raise ValueError(
+            raise ConfigError(
                 f"pregs_per_cluster={self.pregs_per_cluster} per bank cannot "
                 f"hold the initial mapping of {per_bank_logical} logical "
                 f"registers over {self.n_clusters} clusters plus in-flight "
                 f"values")
         if self.predictor not in ("none", "stride", "context", "hybrid",
                                   "perfect"):
-            raise ValueError(f"unknown predictor {self.predictor!r}")
+            raise ConfigError(f"unknown predictor {self.predictor!r}")
         if self.steering not in ("baseline", "modified", "vpb", "round-robin",
                                  "balance-only", "dependence-only",
                                  "static"):
-            raise ValueError(f"unknown steering {self.steering!r}")
+            raise ConfigError(f"unknown steering {self.steering!r}")
         if self.comm_latency < 1:
-            raise ValueError("comm_latency must be >= 1")
+            raise ConfigError("comm_latency must be >= 1")
+        if self.golden_interval < 1:
+            raise ConfigError("golden_interval must be >= 1")
+        if self.deadlock_cycles < 1:
+            raise ConfigError("deadlock_cycles must be >= 1")
 
     def with_overrides(self, **overrides) -> "ProcessorConfig":
         """A copy with the given fields replaced."""
@@ -161,7 +172,7 @@ def derive_preset(n_clusters: int) -> tuple:
     three counts it evaluated.
     """
     if n_clusters < 1 or n_clusters > 8 or (n_clusters & (n_clusters - 1)):
-        raise ValueError(
+        raise ConfigError(
             f"cluster count must be a power of two in 1..8, "
             f"got {n_clusters}")
     iq = max(8, 64 // n_clusters)

@@ -29,7 +29,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Cluster, FUPool, NEVER
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..frontend import (BranchTargetBuffer, CombinedPredictor,
                         FetchEngine, FetchedInst)
 from ..interconnect import Interconnect
@@ -43,6 +43,8 @@ from ..steering import (BalanceOnlySteerer, BaselineSteerer, DCountTracker,
                         DependenceOnlySteerer, ModifiedSteerer, NReadyMeter,
                         RoundRobinSteerer, SourceView, StaticSteerer,
                         VPBSteerer)
+from ..validation.watchdog import (ClusterSnapshot, PipelineSnapshot,
+                                   PipelineWatchdog)
 from .config import ProcessorConfig
 from .stats import SimResult, SimStats
 from .uop import (KIND_COPY, KIND_INST, KIND_VCOPY, MODE_FWD, MODE_LOCAL,
@@ -95,11 +97,32 @@ def _build_predictor(config: ProcessorConfig) -> ValuePredictor:
 
 
 class Processor:
-    """One simulation instance: a config plus a dynamic trace to replay."""
+    """One simulation instance: a config plus a dynamic trace to replay.
 
-    def __init__(self, config: ProcessorConfig, trace) -> None:
+    Args:
+        config: processor parameterization.
+        trace: iterable of :class:`DynInst` to replay.
+        golden: optional :class:`~repro.validation.golden.GoldenModel`
+            co-simulator; every committed program instruction is
+            replayed against it (in batches of
+            ``config.golden_interval``).
+        injector: optional
+            :class:`~repro.validation.faults.FaultInjector`; perturbs
+            predictions, steering and the interconnect, and is notified
+            when an injected corruption is caught by verification.
+    """
+
+    def __init__(self, config: ProcessorConfig, trace, *,
+                 golden=None, injector=None) -> None:
         config.validate()
+        if injector is not None and config.predictor == "perfect":
+            raise ConfigError(
+                "fault injection is incompatible with the perfect "
+                "predictor: its oracle mode skips the verification "
+                "machinery that detects injected corruptions")
         self.config = config
+        self._golden = golden
+        self._injector = injector
         self.stats = SimStats()
         self.stats.dispatch_per_cluster = [0] * config.n_clusters
         self.stats.issued_per_cluster = [0] * config.n_clusters
@@ -125,7 +148,8 @@ class Processor:
             self.clusters[cluster].regfile.set_ready(preg, 0)
         self.interconnect = Interconnect(config.n_clusters,
                                          config.comm_latency,
-                                         config.comm_paths_per_cluster)
+                                         config.comm_paths_per_cluster,
+                                         fault_injector=injector)
         self.vp = _build_predictor(config)
         self._vp_enabled = config.predictor != "none"
         # The perfect predictor is the paper's idealized upper bound
@@ -150,12 +174,14 @@ class Processor:
         self._stores_awaiting_data: List[Uop] = []
         self._dports_used = 0
         self.cycle = 0
+        self.watchdog = PipelineWatchdog(config.deadlock_cycles,
+                                         self.pipeline_snapshot)
 
     # ------------------------------------------------------------------ run --
 
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
         """Simulate until the trace drains; returns the result bundle."""
-        last_commit_cycle = 0
+        watchdog = self.watchdog
         while not (self.fetch.done and not self.rob):
             cycle = self.cycle
             if max_cycles is not None and cycle >= max_cycles:
@@ -166,12 +192,9 @@ class Processor:
             self._process_events(cycle)
             self._drain_store_data(cycle)
             if self._commit(cycle):
-                last_commit_cycle = cycle
-            elif cycle - last_commit_cycle > self.config.deadlock_cycles:
-                raise SimulationError(
-                    f"no commit for {self.config.deadlock_cycles} cycles at "
-                    f"cycle {cycle}; ROB head: "
-                    f"{self.rob[0] if self.rob else None}")
+                watchdog.note_commit(cycle)
+            else:
+                watchdog.check(cycle)
             self._issue(cycle)
             self._decode(cycle)
             self.fetch.tick(cycle)
@@ -195,8 +218,18 @@ class Processor:
         }
         if self.btb is not None:
             bp_stats["btb_miss_rate"] = self.btb.miss_rate
+        validation = {}
+        if self._golden is not None:
+            validation["golden_commits"] = self._golden.finish(self.cycle)
+            validation["golden_batches"] = self._golden.batches
+        if self._injector is not None:
+            report = self._injector.report
+            validation["fault_plan"] = self._injector.plan.describe()
+            validation["fault_report"] = report
+            self.stats.injected_faults = report.total_injected
+            self.stats.detected_faults = report.detected_values
         return SimResult(self.stats, self.config, self.memory.stats(),
-                         vp_stats, bp_stats)
+                         vp_stats, bp_stats, validation)
 
     def describe_state(self) -> str:
         """One-line-per-structure snapshot for debugging stuck runs."""
@@ -218,6 +251,37 @@ class Processor:
                      f"stores awaiting data: "
                      f"{len(self._stores_awaiting_data)}")
         return "\n".join(lines)
+
+    def pipeline_snapshot(self, cycle: int, last_commit_cycle: int,
+                          budget: int) -> PipelineSnapshot:
+        """Structured stall post-mortem (the watchdog's failure payload)."""
+        head = self.rob[0] if self.rob else None
+        clusters = []
+        for cluster in self.clusters:
+            cid = cluster.cluster_id
+            clusters.append(ClusterSnapshot(
+                cluster_id=cid,
+                iq_int_occupancy=len(cluster.iq_int),
+                iq_int_capacity=cluster.iq_int.capacity,
+                iq_fp_occupancy=len(cluster.iq_fp),
+                iq_fp_capacity=cluster.iq_fp.capacity,
+                free_pregs=[self.renamer.free_count(cid, bank)
+                            for bank in (0, 1)]))
+        return PipelineSnapshot(
+            cycle=cycle,
+            last_commit_cycle=last_commit_cycle,
+            budget=budget,
+            rob_occupancy=len(self.rob),
+            rob_size=self.config.rob_size,
+            rob_head=repr(head) if head is not None else None,
+            rob_head_unverified=head.unverified if head else None,
+            rob_head_min_issue=head.min_issue_cycle if head else None,
+            fetch_done=self.fetch.done,
+            clusters=clusters,
+            inflight_bus_messages=self.interconnect.inflight(cycle),
+            pending_store_addrs=len(self._pending_store_addrs),
+            stores_awaiting_data=len(self._stores_awaiting_data),
+            decode_stalls=dict(self.stats.decode_stalls))
 
     # ----------------------------------------------------------- writeback --
 
@@ -266,6 +330,7 @@ class Processor:
             consumer.unverified -= 1
             if operand.correct:
                 continue
+            self._note_fault_detected(operand)
             # Misprediction: the correct value sits in the local physical
             # register (ready at the producer's completion); the consumer
             # reverts to a normal register read and reissues.
@@ -290,8 +355,14 @@ class Processor:
         operand.ready_override = cycle
         operand.verified = True
         consumer.unverified -= 1
+        self._note_fault_detected(operand)
         if consumer.state != STATE_WAITING:
             self._invalidate(consumer, cycle)
+
+    def _note_fault_detected(self, operand: Operand) -> None:
+        """Report a caught injected corruption back to the harness."""
+        if operand.injected and self._injector is not None:
+            self._injector.note_value_detected()
 
     # --------------------------------------------------------- invalidation --
 
@@ -358,6 +429,8 @@ class Processor:
             uop.readers = []
             if uop.kind == KIND_INST:
                 self.stats.committed_insts += 1
+                if self._golden is not None:
+                    self._golden.on_commit(uop.dyn, cycle, uop.cluster)
             elif uop.kind == KIND_COPY:
                 self.stats.committed_copies += 1
             else:
@@ -575,7 +648,13 @@ class Processor:
     # ---------------------------------------------------------------- decode --
 
     def _predictions(self, dyn: DynInst) -> list:
-        """Per-slot value predictions, computed exactly once per DynInst."""
+        """Per-slot value predictions, computed exactly once per DynInst.
+
+        Entries are ``None`` (no confident prediction) or
+        ``(value, correct, injected)`` triples; *injected* marks a
+        prediction corrupted by the fault harness, whose detection must
+        be reported back.
+        """
         cached = self._vp_cache.get(dyn.seq)
         if cached is not None:
             return cached
@@ -583,6 +662,7 @@ class Processor:
         if not self._vp_enabled:
             entries = [None] * len(dyn.srcs)
         else:
+            injector = self._injector
             for slot, logical in enumerate(dyn.srcs):
                 if logical == ZERO_REG or is_fp_reg(logical):
                     entries.append(None)
@@ -590,11 +670,16 @@ class Processor:
                 actual = dyn.src_values[slot]
                 prediction = self.vp.predict(dyn.pc, slot, actual)
                 self.vp.update(dyn.pc, slot, actual)
-                if prediction.confident:
-                    entries.append((prediction.value,
-                                    prediction.value == actual))
-                else:
+                if not prediction.confident:
                     entries.append(None)
+                    continue
+                value, injected = prediction.value, False
+                if injector is not None:
+                    corrupted = injector.corrupt_prediction(dyn.pc, slot,
+                                                            actual)
+                    if corrupted is not None:
+                        value, injected = corrupted, True
+                entries.append((value, value == actual, injected))
         self._vp_cache[dyn.seq] = entries
         return entries
 
@@ -654,6 +739,9 @@ class Processor:
             views.append(view)
             soonest.append(best)
         cluster_id = self.steerer.choose(views, self.dcount, pc=dyn.pc)
+        if self._injector is not None:
+            cluster_id = self._injector.flip_steering(
+                cluster_id, self.config.n_clusters, dyn.pc)
         plan = self._plan_operands(dyn, cluster_id, views, soonest,
                                    predictions, cycle)
         stall = self._check_resources(dyn, cluster_id, plan)
@@ -674,9 +762,11 @@ class Processor:
         Plan entries:
           ("zero",)
           ("local", preg)                      value ready or will be, here
-          ("pred_local", preg, correct)        speculate; producer verifies
+          ("pred_local", preg, correct, injected)  speculate; producer
+                                                   verifies
           ("copy", logical, src_cluster)       demand-generated copy
-          ("vcopy", logical, src_cluster, correct)  predicted remote operand
+          ("vcopy", logical, src_cluster, correct, injected)
+                                               predicted remote operand
         """
         plan: List[tuple] = []
         regfile = self.clusters[cluster_id].regfile
@@ -697,14 +787,15 @@ class Processor:
                         and regfile.ready[preg] > cycle):
                     # §2.2: source not yet available and confident ->
                     # dispatch speculatively; the producer verifies.
-                    plan.append(("pred_local", preg, prediction[1]))
+                    plan.append(("pred_local", preg, prediction[1],
+                                 prediction[2]))
                 else:
                     plan.append(("local", preg))
             elif prediction is not None:
                 # §2.2 extension: operand not mapped here -> predict it
                 # regardless of availability, verify with a vcopy.
                 plan.append(("vcopy", logical, soonest[slot],
-                             prediction[1]))
+                             prediction[1], prediction[2]))
             else:
                 plan.append(("copy", logical, soonest[slot]))
                 copy_planned[logical] = slot
@@ -761,9 +852,12 @@ class Processor:
             elif kind == "local":
                 uop.operands.append(Operand(MODE_LOCAL, entry[1], slot=slot))
             elif kind == "pred_local":
-                _, preg, correct = entry
-                operand = Operand(MODE_PRED, preg, correct, slot=slot)
+                _, preg, correct, injected = entry
+                operand = Operand(MODE_PRED, preg, correct, slot=slot,
+                                  injected=injected)
                 uop.operands.append(operand)
+                if injected:
+                    self._injector.note_value_injected(dyn.pc, slot)
                 self._count_speculation(correct)
                 if self._oracle:
                     operand.verified = True
@@ -783,9 +877,12 @@ class Processor:
                 uop.operands.append(Operand(
                     MODE_LOCAL, uop.operands[first_slot].preg, slot=slot))
             else:  # vcopy
-                _, logical, src_cluster, correct = entry
-                operand = Operand(MODE_PRED, None, correct, slot=slot)
+                _, logical, src_cluster, correct, injected = entry
+                operand = Operand(MODE_PRED, None, correct, slot=slot,
+                                  injected=injected)
                 uop.operands.append(operand)
+                if injected:
+                    self._injector.note_value_injected(dyn.pc, slot)
                 self._count_speculation(correct)
                 if self._oracle:
                     operand.verified = True
@@ -835,6 +932,7 @@ class Processor:
             operand.verified = True
             consumer.unverified -= 1
             if not operand.correct:
+                self._note_fault_detected(operand)
                 operand.mode = MODE_LOCAL
             return
         producer.verify_list.append((consumer, operand))

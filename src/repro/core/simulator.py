@@ -12,6 +12,10 @@ Typical use::
     result = simulate(program, make_config(4, predictor="stride",
                                            steering="vpb"))
     print(result.summary())
+
+With ``check=True`` the run is co-simulated against a golden model
+that replays the committed stream (docs/ROBUSTNESS.md); ``fault_plan``
+enables the seeded fault-injection harness.
 """
 
 from __future__ import annotations
@@ -32,7 +36,9 @@ Traceable = Union[Program, Iterable[DynInst], List[DynInst]]
 
 def simulate(workload: Traceable, config: ProcessorConfig,
              max_instructions: int = 1_000_000,
-             max_cycles: Optional[int] = None) -> SimResult:
+             max_cycles: Optional[int] = None,
+             check: bool = False,
+             fault_plan=None) -> SimResult:
     """Simulate *workload* on the processor described by *config*.
 
     Args:
@@ -43,16 +49,38 @@ def simulate(workload: Traceable, config: ProcessorConfig,
             :func:`repro.core.config.make_config`).
         max_instructions: functional execution cap for programs.
         max_cycles: optional hard stop for the timing loop.
+        check: co-simulate against the golden model; any divergence of
+            the committed stream from the functional trace raises
+            :class:`~repro.errors.DivergenceError`.
+        fault_plan: a :class:`~repro.validation.faults.FaultPlan` to
+            inject seeded faults; the resulting
+            :class:`~repro.validation.faults.FaultReport` is attached
+            to ``result.validation["fault_report"]``.
     """
+    golden = None
+    injector = None
+    if check or fault_plan is not None:
+        # Lazy import: repro.validation.campaign imports back into
+        # repro.core, so the validation layer must not be a module-level
+        # dependency of the core.
+        from ..validation.faults import FaultInjector
+        from ..validation.golden import GoldenModel
+        if check:
+            golden = GoldenModel(interval=config.golden_interval)
+        if fault_plan is not None:
+            fault_plan.validate()
+            injector = FaultInjector(fault_plan)
     if isinstance(workload, Program):
         trace = FunctionalExecutor(workload, max_instructions).run()
     else:
         trace = iter(workload)
-    processor = Processor(config, trace)
+    processor = Processor(config, trace, golden=golden, injector=injector)
     return processor.run(max_cycles=max_cycles)
 
 
 def run_trace(trace: Iterable[DynInst], config: ProcessorConfig,
-              max_cycles: Optional[int] = None) -> SimResult:
+              max_cycles: Optional[int] = None,
+              check: bool = False, fault_plan=None) -> SimResult:
     """Alias of :func:`simulate` for explicit trace input."""
-    return simulate(trace, config, max_cycles=max_cycles)
+    return simulate(trace, config, max_cycles=max_cycles, check=check,
+                    fault_plan=fault_plan)

@@ -48,6 +48,11 @@ class SimStats:
     cond_branches: int = 0
     branch_mispredictions: int = 0
 
+    #: Faults injected by the validation harness (0 without injection).
+    injected_faults: int = 0
+    #: Injected value corruptions caught by verification copies.
+    detected_faults: int = 0
+
     issued_uops: int = 0
 
     #: Per-cluster program-instruction dispatch counts.
@@ -117,12 +122,16 @@ class SimResult:
 
     def __init__(self, stats: SimStats, config, cache_stats: dict,
                  vp_stats: Optional[dict] = None,
-                 bp_stats: Optional[dict] = None) -> None:
+                 bp_stats: Optional[dict] = None,
+                 validation: Optional[dict] = None) -> None:
         self.stats = stats
         self.config = config
         self.cache_stats = cache_stats
         self.vp_stats = vp_stats or {}
         self.bp_stats = bp_stats or {}
+        #: Validation-layer outcome when the run used ``check=True`` or
+        #: fault injection: golden-commit count, fault report, ...
+        self.validation = validation or {}
 
     @property
     def ipc(self) -> float:
@@ -165,6 +174,11 @@ class SimResult:
             "cache": self.cache_stats,
             "branch_predictor": self.bp_stats,
             "value_predictor": self.vp_stats,
+            "injected_faults": s.injected_faults,
+            "detected_faults": s.detected_faults,
+            "validation": {key: value for key, value
+                           in self.validation.items()
+                           if isinstance(value, (int, float, str, bool))},
         }
 
     def summary(self) -> str:

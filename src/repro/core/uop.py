@@ -47,10 +47,11 @@ class Operand:
     """One source operand of an in-flight uop."""
 
     __slots__ = ("mode", "preg", "ready_override", "correct", "verified",
-                 "slot")
+                 "slot", "injected")
 
     def __init__(self, mode: int, preg: Optional[int] = None,
-                 correct: bool = True, slot: int = 0) -> None:
+                 correct: bool = True, slot: int = 0,
+                 injected: bool = False) -> None:
         self.mode = mode
         #: Local physical register (modes LOCAL and PRED-with-mapping).
         self.preg = preg
@@ -62,6 +63,9 @@ class Operand:
         self.verified = False
         #: Operand position (left/right) — predictor index and diagnostics.
         self.slot = slot
+        #: This prediction was corrupted by the fault-injection harness;
+        #: its detection is reported back to the injector.
+        self.injected = injected
 
 
 class Uop:

@@ -1,13 +1,123 @@
-"""Exception types shared across the repro package."""
+"""Exception taxonomy shared across the repro package.
+
+Every failure the package can diagnose maps onto one of four leaf
+classes, all rooted at :class:`ReproError`:
+
+* :class:`ConfigError` — an invalid or inconsistent configuration /
+  argument (also a :class:`ValueError`, so call sites that predate the
+  taxonomy keep working).
+* :class:`WorkloadError` — an unknown workload or dataset name (also a
+  :class:`KeyError` for the same reason).
+* :class:`SimulationError` — the timing model reached an inconsistent
+  state; its subclasses :class:`DivergenceError` (golden-model
+  mismatch) and :class:`DeadlockError` (no forward progress) carry the
+  structured context the validation layer collects.
+
+The rich errors carry machine-readable context (``cycle``,
+``component``, ``details``) so that harnesses — the graceful experiment
+runner, the fault-injection campaign — can ledger failures instead of
+merely printing tracebacks.
+"""
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "SimulationError"]
+from typing import Any, Dict, Optional
+
+__all__ = ["ReproError", "SimulationError", "ConfigError", "WorkloadError",
+           "DivergenceError", "DeadlockError"]
 
 
 class ReproError(Exception):
     """Base class of all repro-specific errors."""
 
 
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration parameter or CLI argument.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites (and tests) continue to catch configuration mistakes.
+    """
+
+
+class WorkloadError(ReproError, KeyError, ValueError):
+    """An unknown workload, dataset, or suite-subset name.
+
+    Subclasses both :class:`KeyError` (registry lookups) and
+    :class:`ValueError` (argument parsing) so every call site that
+    predates the taxonomy keeps catching it.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else ""
+
+
 class SimulationError(ReproError):
-    """The timing simulation reached an inconsistent or stuck state."""
+    """The timing simulation reached an inconsistent or stuck state.
+
+    Attributes:
+        cycle: simulation cycle at which the failure was detected
+            (``None`` when not applicable).
+        component: short name of the structure that failed
+            ("commit", "rob", "golden-model", "watchdog", ...).
+        details: free-form machine-readable context.
+    """
+
+    def __init__(self, message: str, *, cycle: Optional[int] = None,
+                 component: Optional[str] = None,
+                 details: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.component = component
+        self.details = details or {}
+
+    def context(self) -> Dict[str, Any]:
+        """Machine-readable context for ledgers and reports."""
+        out: Dict[str, Any] = dict(self.details)
+        if self.cycle is not None:
+            out["cycle"] = self.cycle
+        if self.component is not None:
+            out["component"] = self.component
+        return out
+
+
+class DivergenceError(SimulationError):
+    """The committed stream diverged from the golden functional model.
+
+    Raised by the co-simulator with the cycle, the PC and sequence
+    number of the diverging instruction, the cluster that executed it,
+    and the register-level diff between the golden state and the trace.
+    """
+
+    def __init__(self, message: str, *, cycle: Optional[int] = None,
+                 pc: Optional[int] = None, seq: Optional[int] = None,
+                 cluster: Optional[int] = None,
+                 register_diff: Optional[Dict[str, Any]] = None) -> None:
+        details: Dict[str, Any] = {}
+        if pc is not None:
+            details["pc"] = pc
+        if seq is not None:
+            details["seq"] = seq
+        if cluster is not None:
+            details["cluster"] = cluster
+        if register_diff:
+            details["register_diff"] = register_diff
+        super().__init__(message, cycle=cycle, component="golden-model",
+                         details=details)
+        self.pc = pc
+        self.seq = seq
+        self.cluster = cluster
+        self.register_diff = register_diff or {}
+
+
+class DeadlockError(SimulationError):
+    """The pipeline made no forward progress within the cycle budget.
+
+    Carries the :class:`~repro.validation.watchdog.PipelineSnapshot`
+    captured at detection time so a hang is diagnosable post-mortem.
+    """
+
+    def __init__(self, message: str, *, cycle: Optional[int] = None,
+                 snapshot: Any = None) -> None:
+        super().__init__(message, cycle=cycle, component="watchdog",
+                         details={"snapshot": snapshot})
+        self.snapshot = snapshot

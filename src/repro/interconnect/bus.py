@@ -29,7 +29,8 @@ class Interconnect:
     """
 
     def __init__(self, n_clusters: int, latency: int = 1,
-                 paths_per_cluster: Optional[int] = None) -> None:
+                 paths_per_cluster: Optional[int] = None,
+                 fault_injector=None) -> None:
         if latency < 1:
             raise ValueError("communication latency must be >= 1")
         if paths_per_cluster is not None and paths_per_cluster < 1:
@@ -37,16 +38,28 @@ class Interconnect:
         self.n_clusters = n_clusters
         self.latency = latency
         self.paths_per_cluster = paths_per_cluster
+        #: Optional repro.validation.faults.FaultInjector; may reject
+        #: reservations (transient drop) or stretch delivery latency.
+        self.fault_injector = fault_injector
         self._reservations: Dict[Tuple[int, int], int] = {}
         self.transfers = 0
         self.rejected = 0
+        #: Rejections forced by the fault injector (subset of rejected).
+        self.dropped = 0
 
     def try_reserve(self, dest_cluster: int, depart_cycle: int) -> bool:
         """Reserve one path slot into *dest_cluster* at *depart_cycle*.
 
         Returns False (and counts the rejection) when all B paths into
-        that cluster are busy that cycle.
+        that cluster are busy that cycle, or when the fault injector
+        drops the message (the sender retries the next cycle).
         """
+        injector = self.fault_injector
+        if injector is not None and injector.bus_drop(dest_cluster,
+                                                      depart_cycle):
+            self.rejected += 1
+            self.dropped += 1
+            return False
         if self.paths_per_cluster is None:
             self.transfers += 1
             return True
@@ -61,7 +74,18 @@ class Interconnect:
 
     def arrival_cycle(self, depart_cycle: int) -> int:
         """Cycle at which a transfer departing at *depart_cycle* is usable."""
-        return depart_cycle + self.latency
+        arrival = depart_cycle + self.latency
+        injector = self.fault_injector
+        if injector is not None:
+            arrival += injector.bus_extra_delay(depart_cycle)
+        return arrival
+
+    def inflight(self, cycle: int) -> int:
+        """Path reservations at or after *cycle* (watchdog snapshots)."""
+        if self.paths_per_cluster is None:
+            return 0
+        return sum(count for (_, depart), count
+                   in self._reservations.items() if depart >= cycle)
 
     def prune(self, before_cycle: int) -> None:
         """Drop reservation records older than *before_cycle*."""

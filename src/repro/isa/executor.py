@@ -19,7 +19,8 @@ from .instruction import DynInst, Instruction
 from .program import INSTRUCTION_BYTES, Program
 from .registers import FP_BASE, NUM_LOGICAL_REGS, ZERO_REG
 
-__all__ = ["ExecutionError", "FunctionalExecutor", "execute"]
+__all__ = ["ExecutionError", "FunctionalExecutor", "execute",
+           "recompute_result"]
 
 _INT_MIN = -(1 << 63)
 _WRAP = 1 << 64
@@ -76,6 +77,44 @@ _BRANCH_TESTS: Dict[str, Callable[[int, int], bool]] = {
     "blt": lambda a, b: a < b,
     "bge": lambda a, b: a >= b,
 }
+
+
+#: Shared op tables for :func:`recompute_result` (built once).
+_REEXEC_INT_OPS = _int_binops()
+
+
+def recompute_result(name: str, src_values: tuple, imm: Optional[int]):
+    """Re-execute one register-to-register operation's semantics.
+
+    Returns ``(True, result)`` for operations whose result depends only
+    on the source values and immediate (the re-executable set used by
+    the golden-model co-simulator), and ``(False, None)`` for those
+    that touch memory or control flow, whose results the trace must be
+    trusted for.
+    """
+    if name in _REEXEC_INT_OPS:
+        return True, _REEXEC_INT_OPS[name](src_values[0], src_values[1])
+    if name in _IMM_ALIAS or name in ("li", "la"):
+        # Immediate forms need the static immediate, which the dynamic
+        # trace does not carry; callers without it pass imm=None.
+        if imm is None:
+            return False, None
+        if name in ("li", "la"):
+            return True, imm
+        return True, _REEXEC_INT_OPS[_IMM_ALIAS[name]](src_values[0], imm)
+    if name in ("mov", "fmov"):
+        return True, src_values[0]
+    if name in _FP_BINOPS:
+        return True, _FP_BINOPS[name](src_values[0], src_values[1])
+    if name in _FP_COMPARES:
+        return True, _FP_COMPARES[name](src_values[0], src_values[1])
+    if name == "fneg":
+        return True, -src_values[0]
+    if name == "cvtif":
+        return True, float(src_values[0])
+    if name == "cvtfi":
+        return True, _wrap64(int(src_values[0]))
+    return False, None
 
 
 class FunctionalExecutor:

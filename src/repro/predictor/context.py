@@ -18,6 +18,7 @@ finite-context-method family — their own reference [19]):
 
 from __future__ import annotations
 
+from ..errors import ConfigError
 from .base import Prediction, ValuePredictor
 from .stride import StridePredictor
 
@@ -50,9 +51,9 @@ class ContextPredictor(ValuePredictor):
         for name, entries in (("l1_entries", l1_entries),
                               ("l2_entries", l2_entries)):
             if entries <= 0 or entries & (entries - 1):
-                raise ValueError(f"{name} must be a power of two")
+                raise ConfigError(f"{name} must be a power of two")
         if order < 1:
-            raise ValueError("order must be >= 1")
+            raise ConfigError("order must be >= 1")
         self.order = order
         self.confidence_threshold = confidence_threshold
         self._l1_mask = l1_entries - 1
@@ -105,7 +106,7 @@ class HybridPredictor(ValuePredictor):
                  chooser_entries: int = 16 * 1024) -> None:
         super().__init__()
         if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
-            raise ValueError("chooser_entries must be a power of two")
+            raise ConfigError("chooser_entries must be a power of two")
         self.stride = StridePredictor(stride_entries)
         self.context = ContextPredictor(context_l1, context_l2)
         self._chooser_mask = chooser_entries - 1

@@ -25,6 +25,7 @@ configurations of Figure 5.
 
 from __future__ import annotations
 
+from ..errors import ConfigError
 from .base import Prediction, ValuePredictor
 
 __all__ = ["StridePredictor"]
@@ -52,7 +53,8 @@ class StridePredictor(ValuePredictor):
                  two_delta: bool = True) -> None:
         super().__init__()
         if entries <= 0 or entries & (entries - 1):
-            raise ValueError(f"entries must be a power of two, got {entries}")
+            raise ConfigError(
+                f"entries must be a power of two, got {entries}")
         self.entries = entries
         self.confidence_threshold = confidence_threshold
         self.two_delta = two_delta

@@ -1,0 +1,37 @@
+"""Validation layer: golden-model co-simulation, watchdog, fault injection.
+
+This package hardens the timing model against *silent* wrongness:
+
+* :mod:`~repro.validation.golden` — replays the committed instruction
+  stream against the functional trace and raises
+  :class:`~repro.errors.DivergenceError` on any mismatch.
+* :mod:`~repro.validation.watchdog` — detects no-forward-progress
+  within a cycle budget and raises :class:`~repro.errors.DeadlockError`
+  with a structured pipeline snapshot instead of spinning forever.
+* :mod:`~repro.validation.faults` — seeded, deterministic fault plans
+  (value corruption, bus delay/drop, steering flips) used to *prove*
+  that the paper's verification-copy mechanism catches 100% of injected
+  predicted-value corruptions.
+* :mod:`~repro.validation.campaign` — the N-seeds x fault-kinds sweep
+  behind ``benchmarks/bench_robustness.py`` and ``repro campaign``.
+
+See docs/ROBUSTNESS.md for the fault model and guarantees.
+"""
+
+from .campaign import (CampaignCell, CampaignResult, format_campaign,
+                       run_fault_campaign)
+from .faults import (FAULT_BUS_DELAY, FAULT_BUS_DROP, FAULT_KINDS,
+                     FAULT_STEER, FAULT_VALUE, FaultInjector, FaultPlan,
+                     FaultRecord, FaultReport)
+from .golden import GoldenModel
+from .watchdog import ClusterSnapshot, PipelineSnapshot, PipelineWatchdog
+
+__all__ = [
+    "CampaignCell", "CampaignResult", "format_campaign",
+    "run_fault_campaign",
+    "FAULT_BUS_DELAY", "FAULT_BUS_DROP", "FAULT_KINDS", "FAULT_STEER",
+    "FAULT_VALUE", "FaultInjector", "FaultPlan", "FaultRecord",
+    "FaultReport",
+    "GoldenModel",
+    "ClusterSnapshot", "PipelineSnapshot", "PipelineWatchdog",
+]

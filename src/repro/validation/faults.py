@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the clustered timing model.
+
+The paper's correctness story rests on one property: a mispredicted
+value that crossed a cluster boundary is *always* caught by the local
+verification copy and repaired through selective reissue.  The fault
+harness exists to prove that property experimentally, plus two weaker
+ones (bus perturbations and steering flips must never corrupt
+architectural state).
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``value`` — corrupt a confident value prediction at decode so the
+  speculatively dispatched operand is guaranteed wrong.  Every injected
+  corruption must be detected by the verification machinery (producer
+  check or verification-copy mismatch forward) and recovered.
+* ``bus-delay`` — stretch an inter-cluster transfer's latency by a
+  random number of extra cycles.
+* ``bus-drop`` — reject a path reservation (a transient NACK); the
+  sender retries the next cycle.
+* ``steer`` — override a steering decision with a random other cluster.
+
+All randomness flows from one seeded :class:`random.Random`, so a
+(seed, plan, trace, config) tuple replays the identical fault sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["FAULT_VALUE", "FAULT_BUS_DELAY", "FAULT_BUS_DROP",
+           "FAULT_STEER", "FAULT_KINDS", "FaultPlan", "FaultRecord",
+           "FaultReport", "FaultInjector"]
+
+FAULT_VALUE = "value"
+FAULT_BUS_DELAY = "bus-delay"
+FAULT_BUS_DROP = "bus-drop"
+FAULT_STEER = "steer"
+FAULT_KINDS = (FAULT_VALUE, FAULT_BUS_DELAY, FAULT_BUS_DROP, FAULT_STEER)
+
+#: Records kept verbatim before falling back to counting only.
+_MAX_RECORDS = 10_000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and from which seed.
+
+    Rates are per *opportunity*: per confident prediction for ``value``,
+    per bus transfer for the bus kinds, per steered instruction for
+    ``steer``.  ``max_faults`` caps total injections across all kinds.
+    """
+
+    seed: int = 0
+    value_rate: float = 0.0
+    bus_delay_rate: float = 0.0
+    bus_drop_rate: float = 0.0
+    steer_rate: float = 0.0
+    max_delay: int = 8
+    max_faults: Optional[int] = None
+
+    _RATE_FIELDS = {FAULT_VALUE: "value_rate",
+                    FAULT_BUS_DELAY: "bus_delay_rate",
+                    FAULT_BUS_DROP: "bus_drop_rate",
+                    FAULT_STEER: "steer_rate"}
+
+    def validate(self) -> None:
+        for kind, attr in self._RATE_FIELDS.items():
+            rate = getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"fault rate for {kind!r} must be in [0, 1], "
+                    f"got {rate}")
+        if self.max_delay < 1:
+            raise ConfigError("max_delay must be >= 1 cycle")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ConfigError("max_faults must be >= 1 or None")
+
+    @property
+    def active(self) -> bool:
+        return any(getattr(self, attr) > 0.0
+                   for attr in self._RATE_FIELDS.values())
+
+    def kinds(self) -> List[str]:
+        return [kind for kind, attr in self._RATE_FIELDS.items()
+                if getattr(self, attr) > 0.0]
+
+    @classmethod
+    def single(cls, kind: str, rate: float = 0.02, seed: int = 0,
+               **extra) -> "FaultPlan":
+        """A plan injecting one fault kind at *rate*."""
+        if kind not in cls._RATE_FIELDS:
+            raise ConfigError(f"unknown fault kind {kind!r}; choose from "
+                              f"{list(FAULT_KINDS)}")
+        plan = cls(seed=seed, **{cls._RATE_FIELDS[kind]: rate}, **extra)
+        plan.validate()
+        return plan
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI spec: ``kind[:rate][,kind[:rate]...][@seed=N]``.
+
+        Examples: ``value``, ``value:0.05``, ``value:0.02,steer:0.01``,
+        ``value@seed=7``.
+        """
+        spec = spec.strip()
+        if "@" in spec:
+            spec, _, tail = spec.partition("@")
+            key, _, val = tail.partition("=")
+            if key.strip() != "seed":
+                raise ConfigError(
+                    f"unknown fault-plan option {key.strip()!r} "
+                    f"(only 'seed' is supported)")
+            try:
+                seed = int(val)
+            except ValueError:
+                raise ConfigError(f"bad fault seed {val!r}") from None
+        fields: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, rate_text = part.partition(":")
+            kind = kind.strip()
+            if kind not in cls._RATE_FIELDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r}; choose from "
+                    f"{list(FAULT_KINDS)}")
+            try:
+                rate = float(rate_text) if rate_text else 0.02
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault rate {rate_text!r} for {kind!r}") from None
+            fields[cls._RATE_FIELDS[kind]] = rate
+        if not fields:
+            raise ConfigError(f"empty fault spec {spec!r}")
+        plan = cls(seed=seed, **fields)
+        plan.validate()
+        return plan
+
+    def describe(self) -> str:
+        parts = [f"{kind}:{getattr(self, attr)}"
+                 for kind, attr in self._RATE_FIELDS.items()
+                 if getattr(self, attr) > 0.0]
+        return f"{','.join(parts) or 'none'}@seed={self.seed}"
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for post-mortem and campaign ledgers."""
+
+    kind: str
+    #: PC for value/steer faults, depart cycle for bus faults.
+    site: int
+    detail: str = ""
+
+
+@dataclass
+class FaultReport:
+    """Injection and detection totals for one simulation run."""
+
+    injected: Dict[str, int] = field(default_factory=dict)
+    detected_values: int = 0
+    records: List[FaultRecord] = field(default_factory=list)
+
+    @property
+    def injected_values(self) -> int:
+        return self.injected.get(FAULT_VALUE, 0)
+
+    @property
+    def undetected_values(self) -> int:
+        return self.injected_values - self.detected_values
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.injected_values:
+            return 1.0
+        return self.detected_values / self.injected_values
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def to_dict(self) -> dict:
+        return {"injected": dict(self.injected),
+                "detected_values": self.detected_values,
+                "undetected_values": self.undetected_values,
+                "detection_rate": self.detection_rate}
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source wired into the processor.
+
+    The processor consults the injector at three points: decode-time
+    value prediction (:meth:`corrupt_prediction`), steering
+    (:meth:`flip_steering`), and the interconnect
+    (:meth:`bus_extra_delay` / :meth:`bus_drop`).  When a corrupted
+    operand is later cleared by the verification machinery the
+    processor calls :meth:`note_value_detected`, closing the loop that
+    the campaign's detection-rate report is built on.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.report = FaultReport()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        cap = self.plan.max_faults
+        return cap is None or self.report.total_injected < cap
+
+    def _record(self, kind: str, site: int, detail: str = "") -> None:
+        report = self.report
+        report.injected[kind] = report.injected.get(kind, 0) + 1
+        if len(report.records) < _MAX_RECORDS:
+            report.records.append(FaultRecord(kind, site, detail))
+
+    # -- injection points ----------------------------------------------------
+
+    def corrupt_prediction(self, pc: int, slot: int,
+                           actual: int) -> Optional[int]:
+        """Maybe corrupt a confident prediction; returns the bad value.
+
+        The corrupted value is guaranteed to differ from the
+        architecturally correct one, so a hit becomes a misprediction
+        the verification layer *must* catch.  Nothing is recorded here:
+        the operand planner may discard the prediction (e.g. the value
+        turns out to be locally ready), so the processor reports back
+        with :meth:`note_value_injected` only when a corrupted operand
+        actually enters the pipeline.  This keeps the detection-rate
+        denominator honest.
+        """
+        if (self.plan.value_rate <= 0.0 or not self._budget_left()
+                or self.rng.random() >= self.plan.value_rate):
+            return None
+        return actual ^ (1 + self.rng.getrandbits(16))
+
+    def flip_steering(self, chosen: int, n_clusters: int, pc: int) -> int:
+        """Maybe override a steering decision with another cluster."""
+        if (n_clusters < 2 or self.plan.steer_rate <= 0.0
+                or not self._budget_left()
+                or self.rng.random() >= self.plan.steer_rate):
+            return chosen
+        flipped = self.rng.randrange(n_clusters - 1)
+        if flipped >= chosen:
+            flipped += 1
+        self._record(FAULT_STEER, pc, f"{chosen}->{flipped}")
+        return flipped
+
+    def bus_extra_delay(self, depart_cycle: int) -> int:
+        """Extra latency cycles for one transfer (usually 0)."""
+        if (self.plan.bus_delay_rate <= 0.0 or not self._budget_left()
+                or self.rng.random() >= self.plan.bus_delay_rate):
+            return 0
+        extra = self.rng.randint(1, self.plan.max_delay)
+        self._record(FAULT_BUS_DELAY, depart_cycle, f"+{extra} cycles")
+        return extra
+
+    def bus_drop(self, dest_cluster: int, depart_cycle: int) -> bool:
+        """True to reject this path reservation (sender retries)."""
+        if (self.plan.bus_drop_rate <= 0.0 or not self._budget_left()
+                or self.rng.random() >= self.plan.bus_drop_rate):
+            return False
+        self._record(FAULT_BUS_DROP, depart_cycle, f"dest {dest_cluster}")
+        return True
+
+    # -- detection loop ------------------------------------------------------
+
+    def note_value_injected(self, pc: int, slot: int) -> None:
+        """A corrupted prediction was dispatched as a live operand."""
+        self._record(FAULT_VALUE, pc, f"slot {slot}")
+
+    def note_value_detected(self) -> None:
+        """An injected value corruption was caught by verification."""
+        self.report.detected_values += 1

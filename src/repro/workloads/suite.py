@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import WorkloadError
 from ..isa.executor import FunctionalExecutor
 from ..isa.instruction import DynInst
 from ..isa.program import Program
@@ -89,8 +90,8 @@ def build_workload(name: str, dataset: str = "test") -> Program:
     try:
         spec = SUITE[name]
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; choose from "
-                       f"{workload_names()}") from None
+        raise WorkloadError(f"unknown workload {name!r}; choose from "
+                            f"{workload_names()}") from None
     return spec.builder(dataset=dataset)
 
 

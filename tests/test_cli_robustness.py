@@ -1,0 +1,94 @@
+"""CLI hardening tests: flag bounds, exit codes, --check/--inject."""
+
+import pytest
+
+from repro.cli import (EXIT_OK, EXIT_SIMULATION_ERROR, EXIT_USAGE_ERROR,
+                       main)
+
+
+class TestExitCodes:
+    def test_ok_run_returns_zero(self):
+        assert main(["simulate", "rawcaudio", "--length", "1000"]) == EXIT_OK
+
+    @pytest.mark.parametrize("flags", [
+        ["--length", "0"],
+        ["--length", "-5"],
+        ["--comm-latency", "0"],
+        ["--paths", "0"],
+        ["--inject", "bogus:0.1"],
+        ["--inject", "value:2.0"],
+        ["--inject", "value@seed=xyz"],
+    ])
+    def test_bad_flag_values_return_usage_error(self, flags, capsys):
+        code = main(["simulate", "rawcaudio"] + flags)
+        assert code == EXIT_USAGE_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_usage_error_message_is_friendly(self, capsys):
+        main(["simulate", "rawcaudio", "--comm-latency", "-1"])
+        err = capsys.readouterr().err
+        assert "--comm-latency" in err and ">= 1" in err
+        assert "Traceback" not in err
+
+    def test_divergence_returns_simulation_error(self, capsys,
+                                                 monkeypatch):
+        from repro.errors import DivergenceError
+
+        def explode(*args, **kwargs):
+            raise DivergenceError("synthetic divergence", cycle=10)
+
+        monkeypatch.setattr("repro.cli.simulate", explode)
+        code = main(["simulate", "rawcaudio", "--length", "500",
+                     "--check"])
+        assert code == EXIT_SIMULATION_ERROR
+        assert "synthetic divergence" in capsys.readouterr().err
+
+    def test_exit_code_constants_are_distinct(self):
+        assert len({EXIT_OK, EXIT_SIMULATION_ERROR, EXIT_USAGE_ERROR}) == 3
+
+
+class TestCheckAndInject:
+    def test_check_reports_golden_summary(self, capsys):
+        code = main(["simulate", "rawcaudio", "--length", "1200",
+                     "--predictor", "stride", "--steering", "vpb",
+                     "--check"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "golden check" in out and "OK" in out
+
+    def test_inject_reports_full_detection(self, capsys):
+        code = main(["simulate", "rawcaudio", "--length", "1200",
+                     "--predictor", "stride", "--steering", "vpb",
+                     "--check", "--inject", "value:0.05@seed=2"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "(100%)" in out
+
+    def test_inject_with_perfect_predictor_is_usage_error(self, capsys):
+        code = main(["simulate", "rawcaudio", "--length", "500",
+                     "--predictor", "perfect", "--steering", "vpb",
+                     "--inject", "value:0.05"])
+        assert code == EXIT_USAGE_ERROR
+        assert "perfect" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_campaign_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.txt"
+        code = main(["campaign", "--workloads", "rawcaudio",
+                     "--length", "600", "--seeds", "1",
+                     "--output", str(out_path)])
+        assert code == EXIT_OK
+        text = out_path.read_text()
+        assert "detection rate" in text and "100.0%" in text
+        assert "rawcaudio" in capsys.readouterr().out
+
+    def test_campaign_bad_flags_are_usage_errors(self):
+        assert main(["campaign", "--seeds", "0"]) == EXIT_USAGE_ERROR
+        assert main(["campaign", "--rate", "0.0"]) == EXIT_USAGE_ERROR
+        assert main(["campaign", "--rate", "1.5"]) == EXIT_USAGE_ERROR
+
+    def test_campaign_listed_in_help(self):
+        from repro.cli import build_parser
+        assert "campaign" in build_parser().format_help()

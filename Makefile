@@ -6,13 +6,17 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test benchmarks campaign check clean-results
+.PHONY: test benchmarks bench-wallclock campaign check clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Serial-vs-parallel sweep wall-clock; appends to BENCH_sweep.json.
+bench-wallclock:
+	$(PYTHON) benchmarks/bench_wallclock.py
 
 # The robustness campaign: seeds x fault kinds under the golden model,
 # report in results/robustness_campaign.txt, exit 1 on any regression.

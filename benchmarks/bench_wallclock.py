@@ -1,0 +1,109 @@
+"""Wall-clock benchmark of the parallel sweep runner.
+
+Runs one fixed suite sweep twice — serially (``jobs=1``) and fanned out
+across worker processes — verifies the two are metric-identical, and
+records wall-clock times plus simulated-instructions-per-second into
+``BENCH_sweep.json`` at the repo root (the perf trajectory file; each
+entry is appended, so the history survives re-runs).
+
+Run directly (``python benchmarks/bench_wallclock.py``) or via
+``make bench-wallclock``.  Knobs: ``REPRO_JOBS`` sets the parallel
+worker count (default: all cores), ``REPRO_TRACE_LEN`` the per-cell
+trace length.
+
+The recorded ``cpu_count`` is what makes the speedup interpretable:
+on a single-core host the parallel path degenerates to process overhead
+and the honest speedup is ~1x or below; the >= 2x criterion applies to
+hosts with >= 4 cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis.parallel import (SweepCell, resolve_jobs,
+                                     resolve_trace_length, run_cells)
+from repro.workloads import clear_trace_cache, workload_names
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_sweep.json"
+
+#: The benchmark sweep: every suite workload at 2 and 4 clusters.
+CONFIGS = ((2, "stride", "vpb"), (4, "stride", "vpb"))
+
+
+def build_cells(length: int):
+    return [SweepCell(key=(name, n), workload=name, n_clusters=n,
+                      predictor=predictor, steering=steering, length=length)
+            for name in workload_names()
+            for n, predictor, steering in CONFIGS]
+
+
+def timed_run(cells, jobs: int):
+    # Drop the in-process trace cache so the serial and parallel paths
+    # both pay (or amortize) trace generation the same way a fresh
+    # campaign would.
+    clear_trace_cache()
+    start = time.perf_counter()
+    results = run_cells(cells, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def main() -> int:
+    length = resolve_trace_length(None, default=4_000)
+    jobs = resolve_jobs(int(os.environ["REPRO_JOBS"])
+                        if "REPRO_JOBS" in os.environ else 0)
+    cells = build_cells(length)
+    print(f"sweep: {len(cells)} cells x {length} instructions; "
+          f"parallel jobs={jobs} (cpu_count={os.cpu_count()})")
+
+    serial, serial_s = timed_run(cells, jobs=1)
+    print(f"serial  : {serial_s:.2f}s")
+    parallel, parallel_s = timed_run(cells, jobs=jobs)
+    print(f"parallel: {parallel_s:.2f}s")
+
+    identical = serial.keys() == parallel.keys() and all(
+        serial[key].to_dict() == parallel[key].to_dict() for key in serial)
+    insts = sum(result.stats.committed_insts for result in serial.values())
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    entry = {
+        "benchmark": "sweep_wallclock",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "cells": len(cells),
+        "trace_length": length,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "simulated_insts": insts,
+        "serial_insts_per_second": round(insts / serial_s, 1),
+        "parallel_insts_per_second": round(insts / parallel_s, 1),
+        "metric_identical": identical,
+    }
+    history = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"speedup : {speedup:.2f}x on {jobs} job(s); "
+          f"{entry['parallel_insts_per_second']:.0f} sim insts/s parallel")
+    print(f"metric-identical: {identical}")
+    print(f"recorded in {RESULT_PATH}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@ from .export import (ablation_rows, figure2_rows, figure3_rows,
                      figure4_rows, figure5_rows, headline_rows,
                      scaling_rows, to_csv, to_json)
 from .metrics import ipcr, mean, pct_change, suite_mean
+from .parallel import (CellFailure, CellOutcome, SweepCell, cell_seed,
+                       is_transient_error, resolve_jobs,
+                       resolve_trace_length, run_cells,
+                       simulate_sweep_cell)
 from .report import (bar, format_ablation, format_figure2, format_figure3,
                      format_figure4, format_figure5, format_headline, table)
 from .timeline import (TimelineProcessor, capture_timeline,
@@ -37,6 +41,9 @@ __all__ = [
     "run_scaling", "ScalingResult", "run_robustness",
     "simulate_cell", "selected_workloads",
     "trace_length",
+    "CellFailure", "CellOutcome", "SweepCell", "cell_seed",
+    "is_transient_error", "resolve_jobs", "resolve_trace_length",
+    "run_cells", "simulate_sweep_cell",
     "ipcr", "mean", "pct_change", "suite_mean",
     "ablation_rows", "figure2_rows", "figure3_rows", "figure4_rows",
     "figure5_rows", "headline_rows", "scaling_rows", "to_csv", "to_json",

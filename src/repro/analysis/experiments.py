@@ -4,12 +4,22 @@ Every driver returns a plain-data result object that the report module
 renders and the benchmarks print; EXPERIMENTS.md records the outputs
 against the paper's numbers.
 
-Environment knobs (respected by all drivers):
+Each driver decomposes its sweep into independent
+:class:`~repro.analysis.parallel.SweepCell` descriptions and hands the
+whole list to :func:`~repro.analysis.parallel.run_cells`, so any sweep
+can fan out across worker processes via the ``jobs=`` argument (or the
+``REPRO_JOBS`` environment variable) while staying metric-identical to
+the serial path.
+
+Environment knobs (validated once at sweep setup, never read inside
+worker processes):
 
 * ``REPRO_TRACE_LEN`` — dynamic instructions per benchmark (default
   12000; the paper ran Mediabench to completion on a C simulator, a
   Python model uses reduced steady-state runs).
 * ``REPRO_WORKLOADS`` — comma-separated subset of the suite.
+* ``REPRO_JOBS`` — sweep worker processes (default 1 = serial;
+  0 = all cores).
 """
 
 from __future__ import annotations
@@ -22,6 +32,8 @@ from ..core import SimResult, make_config, simulate
 from ..errors import WorkloadError
 from ..workloads import workload_names, workload_trace
 from .metrics import mean, pct_change
+from .parallel import (SweepCell, is_transient_error, resolve_jobs,
+                       resolve_trace_length, run_cells, simulate_sweep_cell)
 
 __all__ = [
     "trace_length", "selected_workloads", "run_one",
@@ -40,8 +52,14 @@ __all__ = [
 
 
 def trace_length(default: int = 12_000) -> int:
-    """Dynamic trace length, overridable via ``REPRO_TRACE_LEN``."""
-    return int(os.environ.get("REPRO_TRACE_LEN", default))
+    """Dynamic trace length, overridable via ``REPRO_TRACE_LEN``.
+
+    A malformed or non-positive override raises
+    :class:`~repro.errors.ConfigError` (not a bare ``ValueError``), so
+    sweeps fail at setup with an actionable message instead of deep
+    inside a driver loop.
+    """
+    return resolve_trace_length(None, default=default)
 
 
 def selected_workloads() -> List[str]:
@@ -60,13 +78,32 @@ def selected_workloads() -> List[str]:
 
 def run_one(workload: str, n_clusters: int, predictor: str = "none",
             steering: str = "baseline", length: Optional[int] = None,
-            **overrides) -> SimResult:
+            seed: int = 0, **overrides) -> SimResult:
     """Simulate one (workload, configuration) cell."""
-    length = length or trace_length()
-    trace = workload_trace(workload, length)
-    config = make_config(n_clusters, predictor=predictor, steering=steering,
-                         **overrides)
-    return simulate(list(trace), config)
+    cell = SweepCell(key=None, workload=workload, n_clusters=n_clusters,
+                     predictor=predictor, steering=steering,
+                     length=resolve_trace_length(length), seed=seed,
+                     overrides=SweepCell.pack_overrides(overrides))
+    return simulate_sweep_cell(cell)
+
+
+def _cells_for(names: Sequence[str], specs: Sequence[tuple],
+               length: int) -> List[SweepCell]:
+    """Cross *names* with (n_clusters, predictor, steering, overrides)
+    tuples into cells keyed ``(name,) + spec[:3]``-style by the caller.
+
+    *specs* entries are ``(key_suffix, n_clusters, predictor, steering,
+    overrides_dict)``; the cell key becomes ``(name, key_suffix)``.
+    """
+    cells: List[SweepCell] = []
+    for name in names:
+        for key_suffix, n_clusters, predictor, steering, overrides in specs:
+            cells.append(SweepCell(
+                key=(name, key_suffix), workload=name,
+                n_clusters=n_clusters, predictor=predictor,
+                steering=steering, length=length,
+                overrides=SweepCell.pack_overrides(overrides)))
+    return cells
 
 
 # --------------------------------------------------- graceful degradation --
@@ -99,8 +136,19 @@ class ErrorLedger:
 
     def record(self, workload: str, config: str, attempt: int,
                error: BaseException) -> None:
+        self.record_failure(workload, config, attempt,
+                            type(error).__name__, str(error))
+
+    def record_failure(self, workload: str, config: str, attempt: int,
+                       error_type: str, message: str) -> None:
+        """Record a failure from its already-flattened description.
+
+        Worker processes report failures as (type name, message) pairs —
+        exception objects do not survive pickling reliably — so this is
+        the form the parallel runner records.
+        """
         self.entries.append(LedgerEntry(
-            workload, config, attempt, type(error).__name__, str(error)))
+            workload, config, attempt, error_type, message))
 
     @property
     def failed_cells(self) -> List[Tuple[str, str]]:
@@ -132,10 +180,16 @@ def run_one_safe(workload: str, n_clusters: int, predictor: str = "none",
                  **overrides) -> Optional[SimResult]:
     """:func:`run_one` that degrades gracefully instead of aborting.
 
-    A failing cell is retried up to *retries* more times (transient
-    failures — an injected-fault run tripping a watchdog, a flaky
-    workload generator — often pass on replay); every failed attempt is
-    recorded in *ledger*.  Returns ``None`` when all attempts failed.
+    A cell failing with a *transient* error is retried up to *retries*
+    more times (an injected-fault run tripping a watchdog, a flaky
+    harness — these can pass on replay); a cell failing with a
+    *deterministic* error (bad config, unknown workload, divergence,
+    deadlock — see
+    :data:`~repro.analysis.parallel.DETERMINISTIC_ERRORS`) is ledgered
+    immediately, because the simulator is deterministic and the replay
+    would fail identically, doubling the cost of the slowest failures.
+    Every failed attempt is recorded in *ledger*.  Returns ``None``
+    when no attempt succeeded.
     """
     label = f"{n_clusters}cl/{predictor}/{steering}"
     for attempt in range(1 + max(0, retries)):
@@ -145,6 +199,8 @@ def run_one_safe(workload: str, n_clusters: int, predictor: str = "none",
         except Exception as error:  # noqa: BLE001 - the sweep must survive
             if ledger is not None:
                 ledger.record(workload, label, attempt + 1, error)
+            if not is_transient_error(error):
+                return None  # deterministic: replay would fail identically
     return None
 
 
@@ -164,22 +220,40 @@ def run_graceful_sweep(workloads: Sequence[str] = None,
                        configs: Sequence[Tuple[int, str, str]] = (
                            (4, "none", "baseline"), (4, "stride", "vpb")),
                        length: Optional[int] = None,
-                       retries: int = 1) -> GracefulSweepResult:
+                       retries: int = 1,
+                       jobs: Optional[int] = None) -> GracefulSweepResult:
     """Sweep (workload x config) cells, never aborting on a bad cell.
 
     The robustness harness's answer to a poisoned workload or a
     pathological configuration: every healthy cell still produces its
-    IPC, and every failure is in ``result.ledger``.
+    IPC, and every failure is in ``result.ledger``.  With ``jobs > 1``
+    the cells fan out across worker processes; ledger entries and
+    results are collected in cell order on both paths, so the outcome
+    is identical regardless of worker count.
     """
+    length = resolve_trace_length(length)
+    jobs = resolve_jobs(jobs)
+    names = list(workloads or selected_workloads())
     result = GracefulSweepResult()
-    for name in (workloads or selected_workloads()):
-        for n_clusters, predictor, steering in configs:
-            sim = run_one_safe(name, n_clusters, predictor=predictor,
-                               steering=steering, length=length,
-                               ledger=result.ledger, retries=retries)
-            if sim is not None:
-                key = (name, f"{n_clusters}cl/{predictor}/{steering}")
-                result.ipc[key] = sim.ipc
+    if jobs <= 1:
+        # Serial path: route through run_one_safe (same classification,
+        # same ledger shape) so in-process harness hooks apply.
+        for name in names:
+            for n_clusters, predictor, steering in configs:
+                sim = run_one_safe(name, n_clusters, predictor=predictor,
+                                   steering=steering, length=length,
+                                   ledger=result.ledger, retries=retries)
+                if sim is not None:
+                    key = (name, f"{n_clusters}cl/{predictor}/{steering}")
+                    result.ipc[key] = sim.ipc
+        return result
+    cells = [SweepCell(key=(name, f"{n}cl/{predictor}/{steering}"),
+                       workload=name, n_clusters=n, predictor=predictor,
+                       steering=steering, length=length)
+             for name in names for n, predictor, steering in configs]
+    sims = run_cells(cells, jobs=jobs, ledger=result.ledger,
+                     retries=retries)
+    result.ipc = {key: sim.ipc for key, sim in sims.items()}
     return result
 
 
@@ -207,17 +281,19 @@ class Figure2Result:
 
 
 def run_figure2(workloads: Sequence[str] = None,
-                length: Optional[int] = None) -> Figure2Result:
+                length: Optional[int] = None,
+                jobs: Optional[int] = None) -> Figure2Result:
     """IPC for the 6 configurations of Figure 2, per benchmark."""
+    names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    specs = [((n_clusters, predict), n_clusters,
+              "stride" if predict else "none", "baseline", {})
+             for n_clusters, predict in Figure2Result.CONFIGS]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = Figure2Result()
-    for name in (workloads or selected_workloads()):
-        row: Dict[Tuple[int, bool], float] = {}
-        for n_clusters, predict in Figure2Result.CONFIGS:
-            sim = run_one(name, n_clusters,
-                          predictor="stride" if predict else "none",
-                          steering="baseline", length=length)
-            row[(n_clusters, predict)] = sim.ipc
-        result.ipc[name] = row
+    for name in names:
+        result.ipc[name] = {config: sims[(name, config)].ipc
+                            for config in Figure2Result.CONFIGS}
     return result
 
 
@@ -248,16 +324,20 @@ class Figure3Result:
 
 def run_figure3(workloads: Sequence[str] = None,
                 length: Optional[int] = None,
-                cluster_counts: Sequence[int] = (2, 4)) -> Figure3Result:
+                cluster_counts: Sequence[int] = (2, 4),
+                jobs: Optional[int] = None) -> Figure3Result:
     """The 4-scheme comparison of Figure 3 for 2 and 4 clusters."""
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    # 1-cluster reference cells (IPCR denominators) plus every scheme
+    # cell, submitted as one flat sweep.
+    specs = [(("ref", predictor), 1, predictor, "baseline", {})
+             for predictor in ("none", "stride", "perfect")]
+    specs += [((n_clusters, scheme), n_clusters, predictor, steering, {})
+              for n_clusters in cluster_counts
+              for scheme, predictor, steering in FIGURE3_SCHEMES]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = Figure3Result()
-    # 1-cluster reference IPCs per predictor (IPCR denominators).
-    reference: Dict[Tuple[str, str], float] = {}
-    for predictor in ("none", "stride", "perfect"):
-        for name in names:
-            sim = run_one(name, 1, predictor=predictor, length=length)
-            reference[(predictor, name)] = sim.ipc
     for n_clusters in cluster_counts:
         imb: Dict[str, float] = {}
         comm: Dict[str, float] = {}
@@ -265,9 +345,9 @@ def run_figure3(workloads: Sequence[str] = None,
         for scheme, predictor, steering in FIGURE3_SCHEMES:
             per_imb, per_comm, per_ipcr = [], [], []
             for name in names:
-                sim = run_one(name, n_clusters, predictor=predictor,
-                              steering=steering, length=length)
-                ratio = sim.ipc / reference[(predictor, name)]
+                sim = sims[(name, (n_clusters, scheme))]
+                reference = sims[(name, ("ref", predictor))]
+                ratio = sim.ipc / reference.ipc
                 per_imb.append(sim.imbalance)
                 per_comm.append(sim.comm_per_inst)
                 per_ipcr.append(ratio)
@@ -304,49 +384,51 @@ class Figure4Result:
         return -pct_change(first, last)
 
 
-def run_figure4_latency(workloads: Sequence[str] = None,
-                        length: Optional[int] = None,
-                        latencies: Sequence[int] = (1, 2, 4)
-                        ) -> Figure4Result:
-    """Figure 4(a): IPC vs inter-cluster latency, 2/4 clusters, ±VP."""
-    names = list(workloads or selected_workloads())
-    result = Figure4Result("communication latency (cycles)", list(latencies))
+def _run_figure4(names: List[str], length: int, jobs: Optional[int],
+                 result: Figure4Result, override_name: str,
+                 points: Sequence[Tuple[object, object]]) -> Figure4Result:
+    """Shared Figure 4 sweep: *points* is (x key, override value) pairs."""
+    specs = [((n_clusters, predict, key), n_clusters,
+              "stride" if predict else "none",
+              "vpb" if predict else "baseline",
+              {override_name: value})
+             for n_clusters in (2, 4)
+             for predict in (False, True)
+             for key, value in points]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     for n_clusters in (2, 4):
         for predict in (False, True):
-            series: Dict[object, float] = {}
-            for latency in latencies:
-                ipcs = [run_one(name, n_clusters,
-                                predictor="stride" if predict else "none",
-                                steering="vpb" if predict else "baseline",
-                                length=length, comm_latency=latency).ipc
-                        for name in names]
-                series[latency] = mean(ipcs)
-            result.ipc[(n_clusters, predict)] = series
+            result.ipc[(n_clusters, predict)] = {
+                key: mean(sims[(name, (n_clusters, predict, key))].ipc
+                          for name in names)
+                for key, _ in points}
     return result
+
+
+def run_figure4_latency(workloads: Sequence[str] = None,
+                        length: Optional[int] = None,
+                        latencies: Sequence[int] = (1, 2, 4),
+                        jobs: Optional[int] = None) -> Figure4Result:
+    """Figure 4(a): IPC vs inter-cluster latency, 2/4 clusters, ±VP."""
+    names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    result = Figure4Result("communication latency (cycles)", list(latencies))
+    return _run_figure4(names, length, jobs, result, "comm_latency",
+                        [(latency, latency) for latency in latencies])
 
 
 def run_figure4_bandwidth(workloads: Sequence[str] = None,
                           length: Optional[int] = None,
-                          bandwidths: Sequence[Optional[int]] = (1, 2, None)
-                          ) -> Figure4Result:
+                          bandwidths: Sequence[Optional[int]] = (1, 2, None),
+                          jobs: Optional[int] = None) -> Figure4Result:
     """Figure 4(b): IPC vs paths/cluster (None = unbounded)."""
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
     xvalues = [b if b is not None else "unbounded" for b in bandwidths]
     result = Figure4Result("paths per cluster", xvalues)
-    for n_clusters in (2, 4):
-        for predict in (False, True):
-            series: Dict[object, float] = {}
-            for bandwidth in bandwidths:
-                ipcs = [run_one(name, n_clusters,
-                                predictor="stride" if predict else "none",
-                                steering="vpb" if predict else "baseline",
-                                length=length,
-                                comm_paths_per_cluster=bandwidth).ipc
-                        for name in names]
-                key = bandwidth if bandwidth is not None else "unbounded"
-                series[key] = mean(ipcs)
-            result.ipc[(n_clusters, predict)] = series
-    return result
+    points = [(b if b is not None else "unbounded", b) for b in bandwidths]
+    return _run_figure4(names, length, jobs, result,
+                        "comm_paths_per_cluster", points)
 
 
 # --------------------------------------------------------------- Figure 5 --
@@ -367,8 +449,8 @@ class Figure5Result:
 
 def run_figure5(workloads: Sequence[str] = None,
                 length: Optional[int] = None,
-                sizes: Sequence[int] = (64, 256, 1024, 4096, 16384, 131072)
-                ) -> Figure5Result:
+                sizes: Sequence[int] = (64, 256, 1024, 4096, 16384, 131072),
+                jobs: Optional[int] = None) -> Figure5Result:
     """Figure 5: sweep the stride predictor table (4 clusters, VPB).
 
     The paper sweeps 1K..128K on full Mediabench binaries (tens of
@@ -378,18 +460,18 @@ def run_figure5(workloads: Sequence[str] = None,
     here; the sweep includes them to expose the same curve shape.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    specs = [(size, 4, "stride", "vpb", {"vp_entries": size})
+             for size in sizes]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = Figure5Result(list(sizes))
     for size in sizes:
-        ipcs, confs, hits = [], [], []
-        for name in names:
-            sim = run_one(name, 4, predictor="stride", steering="vpb",
-                          length=length, vp_entries=size)
-            ipcs.append(sim.ipc)
-            confs.append(sim.vp_stats["confident_fraction"])
-            hits.append(sim.vp_stats["hit_ratio"])
-        result.ipc[size] = mean(ipcs)
-        result.confident_fraction[size] = mean(confs)
-        result.hit_ratio[size] = mean(hits)
+        cells = [sims[(name, size)] for name in names]
+        result.ipc[size] = mean(sim.ipc for sim in cells)
+        result.confident_fraction[size] = mean(
+            sim.vp_stats["confident_fraction"] for sim in cells)
+        result.hit_ratio[size] = mean(
+            sim.vp_stats["hit_ratio"] for sim in cells)
     return result
 
 
@@ -403,41 +485,46 @@ class AblationResult:
 
 
 def run_ablation_modified(workloads: Sequence[str] = None,
-                          length: Optional[int] = None) -> AblationResult:
+                          length: Optional[int] = None,
+                          jobs: Optional[int] = None) -> AblationResult:
     """§3.2: the ungated Modified scheme vs Baseline vs VPB (4 clusters).
 
     The paper found Modified ≈ Baseline (imbalance drops but
     communication does not), motivating VPB's threshold gate.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    specs = [("ref", 1, "stride", "baseline", {})]
+    specs += [(label, 4, "stride", steering, {})
+              for label, steering in (("baseline", "baseline"),
+                                      ("modified", "modified"),
+                                      ("vpb", "vpb"))]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = AblationResult()
-    reference = {name: run_one(name, 1, predictor="stride",
-                               length=length).ipc for name in names}
-    for label, steering in (("baseline", "baseline"),
-                            ("modified", "modified"),
-                            ("vpb", "vpb")):
-        ipcrs, comms, imbs = [], [], []
-        for name in names:
-            sim = run_one(name, 4, predictor="stride", steering=steering,
-                          length=length)
-            ipcrs.append(sim.ipc / reference[name])
-            comms.append(sim.comm_per_inst)
-            imbs.append(sim.imbalance)
-        result.rows[label] = {"ipcr": mean(ipcrs), "comm": mean(comms),
-                              "imbalance": mean(imbs)}
+    for label in ("baseline", "modified", "vpb"):
+        cells = [sims[(name, label)] for name in names]
+        result.rows[label] = {
+            "ipcr": mean(sims[(name, label)].ipc / sims[(name, "ref")].ipc
+                         for name in names),
+            "comm": mean(sim.comm_per_inst for sim in cells),
+            "imbalance": mean(sim.imbalance for sim in cells)}
     return result
 
 
 def run_ablation_rename2(workloads: Sequence[str] = None,
-                         length: Optional[int] = None) -> AblationResult:
+                         length: Optional[int] = None,
+                         jobs: Optional[int] = None) -> AblationResult:
     """§3.3: a 2-cycle rename/steer stage costs <2% IPC (4c, VPB)."""
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    labels = (("rename-1-cycle", 0), ("rename-2-cycle", 1))
+    specs = [(label, 4, "stride", "vpb", {"extra_rename_cycles": extra})
+             for label, extra in labels]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = AblationResult()
-    for label, extra in (("rename-1-cycle", 0), ("rename-2-cycle", 1)):
-        ipcs = [run_one(name, 4, predictor="stride", steering="vpb",
-                        length=length, extra_rename_cycles=extra).ipc
-                for name in names]
-        result.rows[label] = {"ipc": mean(ipcs)}
+    for label, _ in labels:
+        result.rows[label] = {
+            "ipc": mean(sims[(name, label)].ipc for name in names)}
     return result
 
 
@@ -464,25 +551,24 @@ class HeadlineResult:
 
 
 def run_headline(workloads: Sequence[str] = None,
-                 length: Optional[int] = None) -> HeadlineResult:
+                 length: Optional[int] = None,
+                 jobs: Optional[int] = None) -> HeadlineResult:
     """Compute every §6 headline metric on the stand-in suite."""
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    cells_spec = [(1, "none", "baseline"), (1, "stride", "baseline"),
+                  (2, "none", "baseline"), (2, "stride", "vpb"),
+                  (4, "none", "baseline"), (4, "stride", "vpb")]
+    specs = [(cell, cell[0], cell[1], cell[2], {}) for cell in cells_spec]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = HeadlineResult()
-    ipc: Dict[Tuple[int, str, str], List[float]] = {}
-    comm: Dict[Tuple[int, str, str], List[float]] = {}
-    cells = [(1, "none", "baseline"), (1, "stride", "baseline"),
-             (2, "none", "baseline"), (2, "stride", "vpb"),
-             (4, "none", "baseline"), (4, "stride", "vpb")]
-    for name in names:
-        for n_clusters, predictor, steering in cells:
-            sim = run_one(name, n_clusters, predictor=predictor,
-                          steering=steering, length=length)
-            ipc.setdefault((n_clusters, predictor, steering),
-                           []).append(sim.ipc)
-            comm.setdefault((n_clusters, predictor, steering),
-                            []).append(sim.comm_per_inst)
+
     def _mean(cell):
-        return mean(ipc[cell])
+        return mean(sims[(name, cell)].ipc for name in names)
+
+    def _comm(cell):
+        return mean(sims[(name, cell)].comm_per_inst for name in names)
+
     measured = result.measured
     measured["ipcr4_baseline_nopredict"] = (
         _mean((4, "none", "baseline")) / _mean((1, "none", "baseline")))
@@ -494,8 +580,8 @@ def run_headline(workloads: Sequence[str] = None,
         _mean((2, "none", "baseline")) / _mean((1, "none", "baseline")))
     measured["ipcr2_vpb"] = (
         _mean((2, "stride", "vpb")) / _mean((1, "stride", "baseline")))
-    measured["comm4_nopredict"] = mean(comm[(4, "none", "baseline")])
-    measured["comm4_vpb"] = mean(comm[(4, "stride", "vpb")])
+    measured["comm4_nopredict"] = _comm((4, "none", "baseline"))
+    measured["comm4_vpb"] = _comm((4, "stride", "vpb"))
     measured["ipc_gain_pct_1c"] = pct_change(
         _mean((1, "none", "baseline")), _mean((1, "stride", "baseline")))
     measured["ipc_gain_pct_2c"] = pct_change(
@@ -506,7 +592,8 @@ def run_headline(workloads: Sequence[str] = None,
 
 
 def run_ablation_predictor(workloads: Sequence[str] = None,
-                           length: Optional[int] = None) -> AblationResult:
+                           length: Optional[int] = None,
+                           jobs: Optional[int] = None) -> AblationResult:
     """Predictor-design ablation: 2-delta vs naive stride update.
 
     DESIGN.md §6.1: the literal replace-on-mismatch update mispredicts
@@ -515,24 +602,26 @@ def run_ablation_predictor(workloads: Sequence[str] = None,
     Measured at 4 clusters with VPB steering.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    labels = (("two-delta", True), ("naive", False))
+    specs = [(label, 4, "stride", "vpb", {"vp_two_delta": two_delta})
+             for label, two_delta in labels]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = AblationResult()
-    for label, two_delta in (("two-delta", True), ("naive", False)):
-        ipcs, comms, hits, confs = [], [], [], []
-        for name in names:
-            sim = run_one(name, 4, predictor="stride", steering="vpb",
-                          length=length, vp_two_delta=two_delta)
-            ipcs.append(sim.ipc)
-            comms.append(sim.comm_per_inst)
-            hits.append(sim.vp_stats["hit_ratio"])
-            confs.append(sim.vp_stats["confident_fraction"])
-        result.rows[label] = {"ipc": mean(ipcs), "comm": mean(comms),
-                              "hit_ratio": mean(hits),
-                              "confident": mean(confs)}
+    for label, _ in labels:
+        cells = [sims[(name, label)] for name in names]
+        result.rows[label] = {
+            "ipc": mean(sim.ipc for sim in cells),
+            "comm": mean(sim.comm_per_inst for sim in cells),
+            "hit_ratio": mean(sim.vp_stats["hit_ratio"] for sim in cells),
+            "confident": mean(sim.vp_stats["confident_fraction"]
+                              for sim in cells)}
     return result
 
 
 def run_ablation_free_copies(workloads: Sequence[str] = None,
-                             length: Optional[int] = None) -> AblationResult:
+                             length: Optional[int] = None,
+                             jobs: Optional[int] = None) -> AblationResult:
     """§2.1 extension: dedicated copy-out hardware.
 
     The paper notes a real implementation could avoid charging copies
@@ -542,24 +631,26 @@ def run_ablation_free_copies(workloads: Sequence[str] = None,
     clusters, with and without value prediction.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    variants = (("paper, no VP", "none", "baseline", False),
+                ("free copies, no VP", "none", "baseline", True),
+                ("paper, VPB", "stride", "vpb", False),
+                ("free copies, VPB", "stride", "vpb", True))
+    specs = [(label, 4, predictor, steering, {"free_copy_issue": free})
+             for label, predictor, steering, free in variants]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = AblationResult()
-    for label, predictor, steering, free in (
-            ("paper, no VP", "none", "baseline", False),
-            ("free copies, no VP", "none", "baseline", True),
-            ("paper, VPB", "stride", "vpb", False),
-            ("free copies, VPB", "stride", "vpb", True)):
-        ipcs, comms = [], []
-        for name in names:
-            sim = run_one(name, 4, predictor=predictor, steering=steering,
-                          length=length, free_copy_issue=free)
-            ipcs.append(sim.ipc)
-            comms.append(sim.comm_per_inst)
-        result.rows[label] = {"ipc": mean(ipcs), "comm": mean(comms)}
+    for label, _, _, _ in variants:
+        cells = [sims[(name, label)] for name in names]
+        result.rows[label] = {
+            "ipc": mean(sim.ipc for sim in cells),
+            "comm": mean(sim.comm_per_inst for sim in cells)}
     return result
 
 
 def run_predictor_comparison(workloads: Sequence[str] = None,
-                             length: Optional[int] = None
+                             length: Optional[int] = None,
+                             jobs: Optional[int] = None
                              ) -> AblationResult:
     """§6 future work: "the results will likely be better with more
     complex and effective predictors".
@@ -569,51 +660,66 @@ def run_predictor_comparison(workloads: Sequence[str] = None,
     paper cites, plus the perfect upper bound, at 4 clusters with VPB.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    labels = ("none", "stride", "context", "hybrid", "perfect")
+    specs = [(label, 4, label,
+              "vpb" if label != "none" else "baseline", {})
+             for label in labels]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = AblationResult()
-    for label in ("none", "stride", "context", "hybrid", "perfect"):
-        ipcs, comms, hits, confs = [], [], [], []
-        for name in names:
-            sim = run_one(name, 4, predictor=label,
-                          steering="vpb" if label != "none" else "baseline",
-                          length=length)
-            ipcs.append(sim.ipc)
-            comms.append(sim.comm_per_inst)
-            hits.append(sim.vp_stats.get("hit_ratio", 0.0))
-            confs.append(sim.vp_stats.get("confident_fraction", 0.0))
-        result.rows[label] = {"ipc": mean(ipcs), "comm": mean(comms),
-                              "hit_ratio": mean(hits),
-                              "confident": mean(confs)}
+    for label in labels:
+        cells = [sims[(name, label)] for name in names]
+        result.rows[label] = {
+            "ipc": mean(sim.ipc for sim in cells),
+            "comm": mean(sim.comm_per_inst for sim in cells),
+            "hit_ratio": mean(sim.vp_stats.get("hit_ratio", 0.0)
+                              for sim in cells),
+            "confident": mean(sim.vp_stats.get("confident_fraction", 0.0)
+                              for sim in cells)}
     return result
 
 
 def run_ablation_static(workloads: Sequence[str] = None,
-                        length: Optional[int] = None) -> AblationResult:
+                        length: Optional[int] = None,
+                        jobs: Optional[int] = None) -> AblationResult:
     """§5 related-work claim: dynamic steering beats static partitioning.
 
     The static scheme gets the best possible conditions — it is profiled
     on the *same* trace it then runs (a perfect-profile compiler) — and
     still loses to dynamic steering because every dynamic instance of an
     instruction is pinned to one cluster regardless of run-time balance.
+
+    Profiles are computed in the parent process (the profile is a plain
+    PC→cluster dict) and shipped to workers as explicit per-cell config,
+    like every other override.
     """
     from ..steering import profile_static_assignment
-    from ..workloads import workload_trace
     names = list(workloads or selected_workloads())
-    result = AblationResult()
-    rows = {"static (perfect profile)": [], "baseline (dynamic)": [],
-            "vpb (dynamic + VP)": []}
+    length = resolve_trace_length(length)
+    cells: List[SweepCell] = []
     for name in names:
-        trace = workload_trace(name, length or trace_length())
+        trace = workload_trace(name, length)
         assignment = profile_static_assignment(trace, 4)
-        rows["static (perfect profile)"].append(simulate_cell(
-            trace, steering="static", static_assignment=assignment))
-        rows["baseline (dynamic)"].append(simulate_cell(trace))
-        rows["vpb (dynamic + VP)"].append(simulate_cell(
-            trace, predictor="stride", steering="vpb"))
-    for label, cells in rows.items():
+        cells.append(SweepCell(
+            key=(name, "static"), workload=name, n_clusters=4,
+            steering="static", length=length,
+            overrides=SweepCell.pack_overrides(
+                {"static_assignment": assignment})))
+        cells.append(SweepCell(key=(name, "baseline"), workload=name,
+                               n_clusters=4, length=length))
+        cells.append(SweepCell(key=(name, "vpb"), workload=name,
+                               n_clusters=4, predictor="stride",
+                               steering="vpb", length=length))
+    sims = run_cells(cells, jobs=jobs)
+    result = AblationResult()
+    for label, suffix in (("static (perfect profile)", "static"),
+                          ("baseline (dynamic)", "baseline"),
+                          ("vpb (dynamic + VP)", "vpb")):
+        row = [sims[(name, suffix)] for name in names]
         result.rows[label] = {
-            "ipc": mean(c.ipc for c in cells),
-            "comm": mean(c.comm_per_inst for c in cells),
-            "imbalance": mean(c.imbalance for c in cells)}
+            "ipc": mean(c.ipc for c in row),
+            "comm": mean(c.comm_per_inst for c in row),
+            "imbalance": mean(c.imbalance for c in row)}
     return result
 
 
@@ -642,7 +748,8 @@ class ScalingResult:
 
 def run_scaling(workloads: Sequence[str] = None,
                 length: Optional[int] = None,
-                counts: Sequence[int] = (1, 2, 4, 8)) -> ScalingResult:
+                counts: Sequence[int] = (1, 2, 4, 8),
+                jobs: Optional[int] = None) -> ScalingResult:
     """Extension: extrapolate the paper's thesis to deeper clustering.
 
     §5 frames the contribution as a design "with an arbitrary number of
@@ -652,35 +759,32 @@ def run_scaling(workloads: Sequence[str] = None,
     clustering, because the communication penalty it removes does.
     """
     names = list(workloads or selected_workloads())
+    length = resolve_trace_length(length)
+    specs = [(("ref", predict), 1,
+              "stride" if predict else "none",
+              "vpb" if predict else "baseline", {})
+             for predict in (False, True)]
+    specs += [((n_clusters, predict), n_clusters,
+               "stride" if predict else "none",
+               "vpb" if predict else "baseline", {})
+              for n_clusters in counts for predict in (False, True)]
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
     result = ScalingResult(list(counts))
-    ref: Dict[Tuple[bool, str], float] = {}
-    for predict in (False, True):
-        for name in names:
-            sim = run_one(name, 1,
-                          predictor="stride" if predict else "none",
-                          steering="vpb" if predict else "baseline",
-                          length=length)
-            ref[(predict, name)] = sim.ipc
     for n_clusters in counts:
         for predict in (False, True):
-            ipcs, ipcrs, comms = [], [], []
-            for name in names:
-                sim = run_one(name, n_clusters,
-                              predictor="stride" if predict else "none",
-                              steering="vpb" if predict else "baseline",
-                              length=length)
-                ipcs.append(sim.ipc)
-                ipcrs.append(sim.ipc / ref[(predict, name)])
-                comms.append(sim.comm_per_inst)
+            row = [sims[(name, (n_clusters, predict))] for name in names]
             key = (n_clusters, predict)
-            result.ipc[key] = mean(ipcs)
-            result.ipcr[key] = mean(ipcrs)
-            result.comm[key] = mean(comms)
+            result.ipc[key] = mean(sim.ipc for sim in row)
+            result.ipcr[key] = mean(
+                sims[(name, (n_clusters, predict))].ipc
+                / sims[(name, ("ref", predict))].ipc for name in names)
+            result.comm[key] = mean(sim.comm_per_inst for sim in row)
     return result
 
 
 def run_robustness(workloads: Sequence[str] = None,
-                   lengths: Sequence[int] = (6_000, 12_000)
+                   lengths: Sequence[int] = (6_000, 12_000),
+                   jobs: Optional[int] = None
                    ) -> Dict[int, HeadlineResult]:
     """Run the headline metrics at several trace lengths.
 
@@ -688,4 +792,5 @@ def run_robustness(workloads: Sequence[str] = None,
     claims are stable against the window size; this driver (and its
     benchmark) checks exactly that.
     """
-    return {length: run_headline(workloads, length) for length in lengths}
+    return {length: run_headline(workloads, length, jobs=jobs)
+            for length in lengths}

@@ -1,0 +1,299 @@
+"""Parallel sweep execution with deterministic worker seeding.
+
+Every figure/ablation driver decomposes into independent *cells* — one
+(workload, configuration) simulation each — so a sweep is an
+embarrassingly parallel map.  This module provides that map:
+
+* :class:`SweepCell` — a fully explicit, picklable cell description.
+  Workers receive *everything* through the cell (trace length, dataset,
+  generation seed, config overrides); they never read ``os.environ``,
+  so a sweep's outcome cannot depend on environment inherited at fork
+  time or on which worker happens to execute which cell.
+* :func:`run_cells` — executes a list of cells either serially (in
+  process, sharing the trace cache) or across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with identical
+  retry/ledger semantics on both paths.  Results are collected **in
+  cell order**, so ledgers and result dictionaries are byte-identical
+  regardless of completion order or worker count.
+* :func:`resolve_jobs` / :func:`resolve_trace_length` — the only places
+  that read the ``REPRO_JOBS`` / ``REPRO_TRACE_LEN`` environment knobs,
+  validating them once at sweep setup (malformed values raise
+  :class:`~repro.errors.ConfigError`, not a bare ``ValueError``).
+
+Failure handling matches :func:`repro.analysis.experiments.run_one_safe`:
+the simulator is deterministic, so a cell that failed with a
+*deterministic* error (bad configuration, unknown workload, golden-model
+divergence, deadlock) is ledgered immediately — replaying it would fail
+identically and double the wall-clock cost of the slowest failures.
+Only errors not known to be deterministic (the transient bucket:
+harness hiccups, injected-fault trips) are retried.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import SimResult, make_config, simulate
+from ..errors import (ConfigError, DeadlockError, DivergenceError,
+                      ReproError, SimulationError, WorkloadError)
+from ..workloads import DEFAULT_TRACE_LENGTH, workload_trace
+
+__all__ = ["SweepCell", "CellFailure", "CellOutcome", "cell_seed",
+           "is_transient_error", "run_cells", "resolve_jobs",
+           "resolve_trace_length", "simulate_sweep_cell"]
+
+
+#: Error types whose failures are deterministic replays: the simulator
+#: and the workload generators are seeded and deterministic, so these
+#: fail identically on retry and are ledgered immediately.
+DETERMINISTIC_ERRORS = (ConfigError, WorkloadError, DivergenceError,
+                        DeadlockError)
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """True when retrying *error* could plausibly change the outcome.
+
+    Deterministic error types (:data:`DETERMINISTIC_ERRORS`) always
+    replay identically; everything else — including the base
+    :class:`~repro.errors.SimulationError`, which fault-injection and
+    harness-level hiccups raise — stays in the retryable bucket.
+    """
+    return not isinstance(error, DETERMINISTIC_ERRORS)
+
+
+def resolve_trace_length(length: Optional[int] = None,
+                         default: int = DEFAULT_TRACE_LENGTH) -> int:
+    """Resolve the per-cell trace length exactly once, at sweep setup.
+
+    Explicit *length* wins; otherwise ``REPRO_TRACE_LEN`` is read and
+    validated here (and only here), so worker processes never consult
+    the environment.  A malformed or non-positive value raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    if length is not None:
+        if length < 1:
+            raise ConfigError(
+                f"trace length must be a positive instruction count, "
+                f"got {length}")
+        return length
+    raw = os.environ.get("REPRO_TRACE_LEN")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRACE_LEN must be an integer instruction count, "
+            f"got {raw!r}") from None
+    if value < 1:
+        raise ConfigError(
+            f"REPRO_TRACE_LEN must be positive, got {value}")
+    return value
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the sweep worker count once, at sweep setup.
+
+    Explicit *jobs* wins; ``jobs=0`` (or ``REPRO_JOBS=0``) means "all
+    cores".  With neither given, the sweep runs serially (1 job) — the
+    historical behaviour.  Malformed values raise
+    :class:`~repro.errors.ConfigError`.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS")
+        if raw is None:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer job count, "
+                f"got {raw!r}") from None
+    if jobs < 0:
+        raise ConfigError(f"job count must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def cell_seed(workload: str, n_clusters: int, predictor: str,
+              steering: str, length: int, salt: int = 0) -> int:
+    """A deterministic 32-bit seed derived from a cell's identity.
+
+    Campaigns that want decorrelated per-cell input data derive the
+    seed from the cell coordinates (never from worker identity, RNG
+    state, or submission order), so the same cell always receives the
+    same seed in any process on any machine.
+    """
+    tag = f"{workload}|{n_clusters}|{predictor}|{steering}|{length}|{salt}"
+    return zlib.crc32(tag.encode("ascii"))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully explicit (workload, configuration) simulation.
+
+    Attributes:
+        key: caller-chosen hashable identifier used to index the result
+            dictionary returned by :func:`run_cells`.
+        workload: suite workload name.
+        n_clusters: cluster count for :func:`~repro.core.make_config`.
+        predictor / steering: scheme names.
+        length: dynamic trace length — always explicit; resolve
+            environment defaults with :func:`resolve_trace_length`
+            *before* building cells.
+        seed: explicit workload-generation seed (0 = the suite's
+            canonical input data).
+        dataset: workload input dataset ("test" / "train").
+        overrides: extra :class:`~repro.core.ProcessorConfig` fields as
+            a sorted tuple of (name, value) pairs, picklable by
+            construction.
+    """
+
+    key: Any
+    workload: str
+    n_clusters: int
+    predictor: str = "none"
+    steering: str = "baseline"
+    length: int = DEFAULT_TRACE_LENGTH
+    seed: int = 0
+    dataset: str = "test"
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def pack_overrides(overrides: Dict[str, Any]
+                       ) -> Tuple[Tuple[str, Any], ...]:
+        """Normalize an override dict into the tuple form."""
+        return tuple(sorted(overrides.items()))
+
+    @property
+    def config_label(self) -> str:
+        """The ledger's configuration label (matches ``run_one_safe``)."""
+        return f"{self.n_clusters}cl/{self.predictor}/{self.steering}"
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed attempt at a cell, as recorded by a worker."""
+
+    attempt: int
+    error_type: str
+    message: str
+
+
+@dataclass
+class CellOutcome:
+    """Everything one cell's execution produced.
+
+    ``result`` is ``None`` when every attempt failed; ``failures``
+    lists the failed attempts in order (empty on first-try success).
+    """
+
+    key: Any
+    result: Optional[SimResult] = None
+    failures: List[CellFailure] = field(default_factory=list)
+
+
+def simulate_sweep_cell(cell: SweepCell) -> SimResult:
+    """Simulate one cell from its explicit description (no retries).
+
+    This is the single simulation path shared by the serial and the
+    parallel runners — and by :func:`repro.analysis.experiments.run_one`
+    — so the three are metric-identical by construction.
+    """
+    trace = workload_trace(cell.workload, cell.length,
+                           dataset=cell.dataset, seed=cell.seed)
+    config = make_config(cell.n_clusters, predictor=cell.predictor,
+                         steering=cell.steering, **dict(cell.overrides))
+    return simulate(list(trace), config)
+
+
+def _execute_cell(cell: SweepCell, retries: int) -> CellOutcome:
+    """Run one cell with classified retries; never raises.
+
+    Module-level (hence picklable) so it can serve as the worker
+    function of a :class:`ProcessPoolExecutor`.  The cell carries every
+    input explicitly; nothing here reads the environment.
+    """
+    outcome = CellOutcome(cell.key)
+    for attempt in range(1 + max(0, retries)):
+        try:
+            outcome.result = simulate_sweep_cell(cell)
+            return outcome
+        except Exception as error:  # noqa: BLE001 - sweeps must survive
+            outcome.failures.append(CellFailure(
+                attempt + 1, type(error).__name__, str(error)))
+            if not is_transient_error(error):
+                return outcome  # deterministic: replay would fail alike
+    return outcome
+
+
+#: Worker entry point: (cell, retries) tuple -> CellOutcome.
+def _pool_worker(item: Tuple[SweepCell, int]) -> CellOutcome:
+    cell, retries = item
+    return _execute_cell(cell, retries)
+
+
+_ERROR_TYPES = {cls.__name__: cls for cls in
+                (ConfigError, WorkloadError, SimulationError,
+                 DivergenceError, DeadlockError, ReproError)}
+
+
+def _raise_failure(cell: SweepCell, failure: CellFailure) -> None:
+    """Re-raise a worker-side failure in the parent (fail-fast mode).
+
+    Worker exceptions are transported as (type name, message) records —
+    structured context does not survive pickling reliably — and
+    reconstructed against the repro error taxonomy, falling back to
+    :class:`SimulationError` for foreign types.
+    """
+    error_cls = _ERROR_TYPES.get(failure.error_type, SimulationError)
+    raise error_cls(
+        f"sweep cell {cell.workload} [{cell.config_label}] failed "
+        f"after {failure.attempt} attempt(s): "
+        f"{failure.error_type}: {failure.message}")
+
+
+def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
+              ledger=None, retries: int = 1) -> Dict[Any, SimResult]:
+    """Execute *cells* and return ``{cell.key: SimResult}``.
+
+    Args:
+        cells: the sweep, in the order results (and ledger entries)
+            should be recorded.
+        jobs: worker processes; ``None`` defers to ``REPRO_JOBS`` (see
+            :func:`resolve_jobs`), 1 runs serially in process.
+        ledger: an :class:`~repro.analysis.experiments.ErrorLedger`.
+            When given, failed cells are recorded there and omitted
+            from the result dict; when ``None``, the first failure is
+            re-raised (fail-fast, the figure drivers' behaviour).
+        retries: extra attempts for cells failing with *transient*
+            errors; deterministic failures are never retried.
+
+    Both execution paths call the same per-cell function, and outcomes
+    are folded in submission order, so serial and parallel runs produce
+    identical result dictionaries and identical ledgers.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        outcomes = [_execute_cell(cell, retries) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            outcomes = list(pool.map(_pool_worker,
+                                     [(cell, retries) for cell in cells]))
+    results: Dict[Any, SimResult] = {}
+    for cell, outcome in zip(cells, outcomes):
+        if ledger is not None:
+            for failure in outcome.failures:
+                ledger.record_failure(cell.workload, cell.config_label,
+                                      failure.attempt, failure.error_type,
+                                      failure.message)
+        if outcome.result is not None:
+            results[cell.key] = outcome.result
+        elif ledger is None:
+            _raise_failure(cell, outcome.failures[-1])
+    return results

@@ -12,8 +12,9 @@ Commands:
 * ``campaign`` — the fault-injection robustness campaign
   (docs/ROBUSTNESS.md), written to ``results/robustness_campaign.txt``.
 
-Every figure command honours ``--workloads`` and ``--length`` (and the
-``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN`` environment variables).
+Every figure command honours ``--workloads``, ``--length`` and
+``--jobs`` (and the ``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN`` /
+``REPRO_JOBS`` environment variables).
 
 Exit codes: 0 on success, 1 when the simulation itself failed
 (divergence, deadlock, ...), 2 on a usage error (bad flag values,
@@ -102,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated suite subset")
         fig.add_argument("--length", type=int, default=None,
                          help="dynamic instructions per benchmark")
+        fig.add_argument("--jobs", type=int, default=None,
+                         help="sweep worker processes (0 = all cores; "
+                              "default: REPRO_JOBS or serial)")
     return parser
 
 
@@ -187,48 +191,48 @@ def _cmd_campaign(args) -> None:
 
 
 def _cmd_figure(args) -> None:
-    subset, length = _subset(args), args.length
+    subset, length, jobs = _subset(args), args.length, args.jobs
     if args.command == "figure2":
         print(analysis.format_figure2(
-            analysis.run_figure2(subset, length)))
+            analysis.run_figure2(subset, length, jobs=jobs)))
     elif args.command == "figure3":
         print(analysis.format_figure3(
-            analysis.run_figure3(subset, length)))
+            analysis.run_figure3(subset, length, jobs=jobs)))
     elif args.command == "figure4a":
         print(analysis.format_figure4(
-            analysis.run_figure4_latency(subset, length), "a"))
+            analysis.run_figure4_latency(subset, length, jobs=jobs), "a"))
     elif args.command == "figure4b":
         print(analysis.format_figure4(
-            analysis.run_figure4_bandwidth(subset, length), "b"))
+            analysis.run_figure4_bandwidth(subset, length, jobs=jobs), "b"))
     elif args.command == "figure5":
         print(analysis.format_figure5(
-            analysis.run_figure5(subset, length)))
+            analysis.run_figure5(subset, length, jobs=jobs)))
     elif args.command == "headline":
         print(analysis.format_headline(
-            analysis.run_headline(subset, length)))
+            analysis.run_headline(subset, length, jobs=jobs)))
     else:  # ablations
         print(analysis.format_ablation(
-            analysis.run_ablation_modified(subset, length),
+            analysis.run_ablation_modified(subset, length, jobs=jobs),
             "Section 3.2 — ungated Modified scheme (4 clusters)"))
         print()
         print(analysis.format_ablation(
-            analysis.run_ablation_rename2(subset, length),
+            analysis.run_ablation_rename2(subset, length, jobs=jobs),
             "Section 3.3 — 2-cycle rename/steer (4 clusters, VPB)"))
         print()
         print(analysis.format_ablation(
-            analysis.run_ablation_predictor(subset, length),
+            analysis.run_ablation_predictor(subset, length, jobs=jobs),
             "Stride update discipline (4 clusters, VPB)"))
         print()
         print(analysis.format_ablation(
-            analysis.run_ablation_free_copies(subset, length),
+            analysis.run_ablation_free_copies(subset, length, jobs=jobs),
             "Section 2.1 extension — free copy issue (4 clusters)"))
         print()
         print(analysis.format_ablation(
-            analysis.run_ablation_static(subset, length),
+            analysis.run_ablation_static(subset, length, jobs=jobs),
             "Static vs dynamic partitioning (4 clusters)"))
         print()
         print(analysis.format_ablation(
-            analysis.run_predictor_comparison(subset, length),
+            analysis.run_predictor_comparison(subset, length, jobs=jobs),
             "Value predictor families (4 clusters, VPB)"))
 
 

@@ -47,6 +47,7 @@ class IssueQueue:
 
     def reinsert(self, uop) -> None:
         """Re-enter an invalidated uop at its age position."""
+        uop.wake_cycle = 0  # its operands changed; rescan immediately
         insort(self._entries, uop, key=lambda u: u.order)
 
     def remove(self, uop) -> None:

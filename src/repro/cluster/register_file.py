@@ -11,7 +11,7 @@ invalidation walk both need.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["RegisterFile", "NEVER"]
 
@@ -28,10 +28,27 @@ class RegisterFile:
         self.n_pregs = n_pregs
         self.ready: List[int] = [NEVER] * n_pregs
         self.producer: List[Optional[object]] = [None] * n_pregs
+        #: Issue-stage wakeup: uops parked on a register's readiness.
+        #: ``set_ready`` lowers each waiter's ``wake_cycle`` to the new
+        #: ready cycle and drops the list; a stale entry (the waiter
+        #: issued or was invalidated meanwhile) only triggers a harmless
+        #: extra scan, never a wrong skip.
+        self.waiters: Dict[int, List[object]] = {}
+
+    def add_waiter(self, preg: int, uop) -> None:
+        """Park *uop* until *preg*'s ready cycle is (re)scheduled."""
+        waiters = self.waiters.setdefault(preg, [])
+        if not waiters or waiters[-1] is not uop:
+            waiters.append(uop)
 
     def set_ready(self, preg: int, cycle: int) -> None:
         """Value of *preg* becomes usable at *cycle*."""
         self.ready[preg] = cycle
+        waiters = self.waiters.pop(preg, None)
+        if waiters:
+            for uop in waiters:
+                if cycle < uop.wake_cycle:
+                    uop.wake_cycle = cycle
 
     def set_pending(self, preg: int, producer) -> None:
         """*preg* is allocated but its value is still being produced."""
@@ -50,3 +67,10 @@ class RegisterFile:
         """Reset scoreboard state when the register is freed."""
         self.ready[preg] = NEVER
         self.producer[preg] = None
+        # A reader older than the freeing writer cannot still be parked
+        # here (it must commit first), but wake defensively: a spurious
+        # rescan is harmless, a missed wake would hang the consumer.
+        waiters = self.waiters.pop(preg, None)
+        if waiters:
+            for uop in waiters:
+                uop.wake_cycle = 0

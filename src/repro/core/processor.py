@@ -505,7 +505,7 @@ class Processor:
                 for uop in queue:
                     if uop.state != STATE_WAITING:
                         continue
-                    if uop.min_issue_cycle > cycle:
+                    if uop.min_issue_cycle > cycle or uop.wake_cycle > cycle:
                         continue
                     blocked = self._try_issue_uop(uop, cluster, cycle)
                     if blocked is None:
@@ -520,24 +520,61 @@ class Processor:
         idle_fp = [c.fupool.idle_capacity(False) for c in self.clusters]
         self.nready.record(leftover_int, idle_int, leftover_fp, idle_fp)
 
+    def _park(self, uop: Uop, blocking: Sequence[Operand],
+              cycle: int) -> None:
+        """Sleep an operand-blocked uop until an operand could be ready.
+
+        The wake cycle is a *lower bound* on the first cycle any of the
+        blocking operands could become usable: a finite scheduled ready
+        cycle bounds directly; an unscheduled register (ready ``NEVER``)
+        parks the uop on the register file's waiter list, and
+        ``set_ready`` lowers the wake cycle when the producer finally
+        schedules a value.  Because wakes only ever lower
+        ``wake_cycle``, a parked uop can never sleep through a cycle at
+        which it could have issued — the issue order, and therefore the
+        committed stream, is identical to the full per-cycle rescan.
+        """
+        regfile = self.clusters[uop.cluster].regfile
+        bound = cycle + 1
+        for operand in blocking:
+            if operand.mode == MODE_LOCAL:
+                ready = regfile.ready[operand.preg]
+                regfile.add_waiter(operand.preg, uop)
+                if ready > bound:
+                    bound = ready
+            elif operand.mode == MODE_FWD:
+                if operand.ready_override > bound:
+                    bound = operand.ready_override
+        uop.wake_cycle = bound
+
     def _try_issue_uop(self, uop: Uop, cluster: Cluster,
                        cycle: int) -> Optional[str]:
         """Attempt issue; returns None on success or the blocking reason.
 
         Reasons: "operands" (not ready), "capacity" (issue width or FU —
         the NREADY-relevant case), "port"/"path" (global resources).
+        An operand-blocked uop consumes no shared resource, so parking
+        it (see :meth:`_park`) cannot perturb any other uop's issue.
         """
         if uop.is_store:
             # Address generation needs only the base operand (srcs are
             # (value, base)); the data value is collected in the store
             # queue afterwards (§2.4: "loads may execute when prior
             # store addresses are known").
-            if not self._operand_ready(uop, uop.operands[1], cycle):
+            operand = uop.operands[1]
+            if not self._operand_ready(uop, operand, cycle):
+                self._park(uop, (operand,), cycle)
                 return "operands"
         else:
+            blocking: Optional[List[Operand]] = None
             for operand in uop.operands:
                 if not self._operand_ready(uop, operand, cycle):
-                    return "operands"
+                    if blocking is None:
+                        blocking = []
+                    blocking.append(operand)
+            if blocking:
+                self._park(uop, blocking, cycle)
+                return "operands"
         fupool = cluster.fupool
         if uop.kind == KIND_INST:
             if uop.is_load:
@@ -707,7 +744,8 @@ class Processor:
                     best_cluster = cluster_id
         available = best_ready <= cycle
         view = SourceView(logical, is_fp_reg(logical), available,
-                          frozenset(mapped), best_cluster, predicted)
+                          self.renamer.mapped_set(logical), best_cluster,
+                          predicted)
         return view, best_cluster
 
     def _decode(self, cycle: int) -> None:

@@ -94,6 +94,10 @@ class Uop:
         consumer / consumer_operand: VCOPY back-references.
         mispredicted_branch: direction predictor missed this branch.
         generation: bumped on invalidation so queued events become stale.
+        wake_cycle: lower bound on the next cycle an issue attempt could
+            succeed; the issue scan skips the uop until then.  Wakes
+            (``RegisterFile.set_ready`` on an awaited register) only
+            ever lower it, so a parked uop never oversleeps.
     """
 
     __slots__ = ("kind", "dyn", "order", "cluster", "int_side", "opclass",
@@ -101,7 +105,7 @@ class Uop:
                  "generation", "issue_cycle", "complete_cycle",
                  "min_issue_cycle", "unverified", "readers", "verify_list",
                  "free_on_commit", "consumer", "consumer_operand",
-                 "mispredicted_branch", "reissue_count")
+                 "mispredicted_branch", "reissue_count", "wake_cycle")
 
     def __init__(self, kind: int, dyn: Optional[DynInst], order: int,
                  cluster: int, int_side: bool,
@@ -128,6 +132,7 @@ class Uop:
         self.consumer_operand: Optional[Operand] = None
         self.mispredicted_branch = False
         self.reissue_count = 0
+        self.wake_cycle = 0
 
     # -- classification helpers ------------------------------------------------
 

@@ -11,7 +11,7 @@ writer of the logical register commits.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 __all__ = ["MapTable"]
 
@@ -26,6 +26,12 @@ class MapTable:
         self.n_clusters = n_clusters
         self._map: List[List[Optional[int]]] = [
             [None] * n_clusters for _ in range(n_logical)]
+        # Steering reads the mapped-cluster view of every source operand
+        # of every decoded instruction; the views change only on
+        # define/add_replica, so they are cached per logical register.
+        self._mapped_cache: List[Optional[List[int]]] = [None] * n_logical
+        self._mapped_sets: List[Optional[FrozenSet[int]]] = (
+            [None] * n_logical)
 
     # -- queries --------------------------------------------------------------
 
@@ -38,9 +44,26 @@ class MapTable:
         return self._map[logical][cluster] is not None
 
     def mapped_clusters(self, logical: int) -> List[int]:
-        """Clusters where *logical* currently has a valid mapping."""
-        row = self._map[logical]
-        return [c for c in range(self.n_clusters) if row[c] is not None]
+        """Clusters where *logical* currently has a valid mapping.
+
+        The returned list is a shared cache entry — treat it as
+        read-only.
+        """
+        cached = self._mapped_cache[logical]
+        if cached is None:
+            row = self._map[logical]
+            cached = [c for c in range(self.n_clusters)
+                      if row[c] is not None]
+            self._mapped_cache[logical] = cached
+        return cached
+
+    def mapped_set(self, logical: int) -> FrozenSet[int]:
+        """:meth:`mapped_clusters` as a cached frozenset (steering views)."""
+        cached = self._mapped_sets[logical]
+        if cached is None:
+            cached = frozenset(self.mapped_clusters(logical))
+            self._mapped_sets[logical] = cached
+        return cached
 
     def mappings(self, logical: int) -> List[Tuple[int, int]]:
         """All valid (cluster, preg) pairs of *logical*."""
@@ -64,6 +87,8 @@ class MapTable:
         for c in range(self.n_clusters):
             row[c] = None
         row[cluster] = preg
+        self._mapped_cache[logical] = None
+        self._mapped_sets[logical] = None
         return previous
 
     def add_replica(self, logical: int, cluster: int, preg: int) -> None:
@@ -72,6 +97,8 @@ class MapTable:
             raise ValueError(
                 f"logical r{logical} already mapped in cluster {cluster}")
         self._map[logical][cluster] = preg
+        self._mapped_cache[logical] = None
+        self._mapped_sets[logical] = None
 
     def live_pregs(self, cluster: int) -> List[int]:
         """Physical registers of *cluster* referenced by valid fields."""

@@ -87,8 +87,13 @@ class RenameUnit:
         return self._free[cluster][bank].available
 
     def mapped_clusters(self, logical: int) -> List[int]:
-        """Where *logical* currently has valid mappings."""
+        """Where *logical* currently has valid mappings (shared cache —
+        read-only)."""
         return self.map_table.mapped_clusters(logical)
+
+    def mapped_set(self, logical: int):
+        """Cached frozenset view of :meth:`mapped_clusters`."""
+        return self.map_table.mapped_set(logical)
 
     def mapping(self, logical: int, cluster: int) -> Optional[int]:
         """Physical register of *logical* in *cluster* (or ``None``)."""

@@ -26,9 +26,14 @@ REPLICAS = 8
 DATASET_OFFSETS = {"test": 0, "train": 5000}
 
 
-def _dataset_offset(dataset: str) -> int:
+#: Seed stride: far above any dataset offset, so (dataset, seed) pairs
+#: never collide in the generators' seed space.
+_SEED_STRIDE = 100_003
+
+
+def _dataset_offset(dataset: str, seed: int = 0) -> int:
     try:
-        return DATASET_OFFSETS[dataset]
+        return DATASET_OFFSETS[dataset] + seed * _SEED_STRIDE
     except KeyError:
         raise KeyError(f"unknown dataset {dataset!r}; choose from "
                        f"{sorted(DATASET_OFFSETS)}") from None
@@ -46,9 +51,9 @@ def _outer_end(b: ProgramBuilder):
     b.emit("halt")
 
 
-def build_mesamipmap(dataset: str = "test") -> Program:
+def build_mesamipmap(dataset: str = "test", seed: int = 0) -> Program:
     """Mipmap generation: box-filtered downsampling of texel quads."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 48
     texels = b.data("texels", float_noise(121 + offset, 4 * n, scale=255.0),
@@ -65,9 +70,9 @@ def build_mesamipmap(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_mesaosdemo(dataset: str = "test") -> Program:
+def build_mesaosdemo(dataset: str = "test", seed: int = 0) -> Program:
     """Off-screen rendering demo: geometry + span fill + texture."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 32
     verts = b.data("verts", float_ramp(0.5, 3 * n, 0.37), elem_size=8)
@@ -87,9 +92,9 @@ def build_mesaosdemo(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_mesatexgen(dataset: str = "test") -> Program:
+def build_mesatexgen(dataset: str = "test", seed: int = 0) -> Program:
     """Texture-coordinate generation: transforms + fp polynomial + pack."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 32
     verts = b.data("verts", float_noise(141 + offset, 3 * n + 3, scale=10.0),

@@ -26,9 +26,14 @@ REPLICAS = 8
 DATASET_OFFSETS = {"test": 0, "train": 5000}
 
 
-def _dataset_offset(dataset: str) -> int:
+#: Seed stride: far above any dataset offset, so (dataset, seed) pairs
+#: never collide in the generators' seed space.
+_SEED_STRIDE = 100_003
+
+
+def _dataset_offset(dataset: str, seed: int = 0) -> int:
     try:
-        return DATASET_OFFSETS[dataset]
+        return DATASET_OFFSETS[dataset] + seed * _SEED_STRIDE
     except KeyError:
         raise KeyError(f"unknown dataset {dataset!r}; choose from "
                        f"{sorted(DATASET_OFFSETS)}") from None
@@ -58,9 +63,9 @@ def _outer_end(b: ProgramBuilder):
     b.emit("halt")
 
 
-def build_g721enc(dataset: str = "test") -> Program:
+def build_g721enc(dataset: str = "test", seed: int = 0) -> Program:
     """G.721 ADPCM encode: adaptive predictor + quantizer — very serial."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 80
     samples = b.data("samples", audio_words(505 + offset, n))
@@ -77,9 +82,9 @@ def build_g721enc(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_gsmdec(dataset: str = "test") -> Program:
+def build_gsmdec(dataset: str = "test", seed: int = 0) -> Program:
     """GSM full-rate decode: bit unpack -> LTP filter -> synthesis."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 80
     packed = b.data("packed", noise_words(606 + offset, n // 4 + 4, bits=31))
@@ -98,9 +103,9 @@ def build_gsmdec(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_gsmenc(dataset: str = "test") -> Program:
+def build_gsmenc(dataset: str = "test", seed: int = 0) -> Program:
     """GSM full-rate encode: LPC analysis + LTP search + quantize."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 80
     speech = b.data("speech", audio_words(707 + offset, n + 16))
@@ -120,9 +125,9 @@ def build_gsmenc(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_rawcaudio(dataset: str = "test") -> Program:
+def build_rawcaudio(dataset: str = "test", seed: int = 0) -> Program:
     """IMA ADPCM (the real rawcaudio inner loop) plus output buffering."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 96
     codes = b.data("codes", noise_words(809 + offset, n, bits=4))
@@ -137,9 +142,9 @@ def build_rawcaudio(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_rasta(dataset: str = "test") -> Program:
+def build_rasta(dataset: str = "test", seed: int = 0) -> Program:
     """RASTA speech analysis: filterbank + fp spectral polynomial."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     samples = b.data("samples", audio_words(910 + offset, n + 16))

@@ -26,9 +26,14 @@ REPLICAS = 8
 DATASET_OFFSETS = {"test": 0, "train": 5000}
 
 
-def _dataset_offset(dataset: str) -> int:
+#: Seed stride: far above any dataset offset, so (dataset, seed) pairs
+#: never collide in the generators' seed space.
+_SEED_STRIDE = 100_003
+
+
+def _dataset_offset(dataset: str, seed: int = 0) -> int:
     try:
-        return DATASET_OFFSETS[dataset]
+        return DATASET_OFFSETS[dataset] + seed * _SEED_STRIDE
     except KeyError:
         raise KeyError(f"unknown dataset {dataset!r}; choose from "
                        f"{sorted(DATASET_OFFSETS)}") from None
@@ -46,9 +51,9 @@ def _outer_end(b: ProgramBuilder):
     b.emit("halt")
 
 
-def build_pgpenc(dataset: str = "test") -> Program:
+def build_pgpenc(dataset: str = "test", seed: int = 0) -> Program:
     """Encrypt: modular exponentiation rounds + block scramble + entropy."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     sbox = b.data("sbox", noise_words(151 + offset, 1024, bits=32))
@@ -65,9 +70,9 @@ def build_pgpenc(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_pgpdec(dataset: str = "test") -> Program:
+def build_pgpdec(dataset: str = "test", seed: int = 0) -> Program:
     """Decrypt: modular rounds + bit unpacking of the armored stream."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     sbox = b.data("sbox", noise_words(161 + offset, 1024, bits=32))

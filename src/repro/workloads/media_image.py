@@ -33,9 +33,14 @@ REPLICAS = 8
 DATASET_OFFSETS = {"test": 0, "train": 5000}
 
 
-def _dataset_offset(dataset: str) -> int:
+#: Seed stride: far above any dataset offset, so (dataset, seed) pairs
+#: never collide in the generators' seed space.
+_SEED_STRIDE = 100_003
+
+
+def _dataset_offset(dataset: str, seed: int = 0) -> int:
     try:
-        return DATASET_OFFSETS[dataset]
+        return DATASET_OFFSETS[dataset] + seed * _SEED_STRIDE
     except KeyError:
         raise KeyError(f"unknown dataset {dataset!r}; choose from "
                        f"{sorted(DATASET_OFFSETS)}") from None
@@ -53,9 +58,9 @@ def _outer_loop_end(b: ProgramBuilder) -> None:
     b.emit("halt")
 
 
-def build_cjpeg(dataset: str = "test") -> Program:
+def build_cjpeg(dataset: str = "test", seed: int = 0) -> Program:
     """JPEG encode: color convert -> 8-pt transform -> quantize -> entropy."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     pixels = b.data("pixels", image_words(101 + offset, 3 * n))
@@ -75,9 +80,9 @@ def build_cjpeg(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_djpeg(dataset: str = "test") -> Program:
+def build_djpeg(dataset: str = "test", seed: int = 0) -> Program:
     """JPEG decode: entropy scan -> dequantize -> inverse transform -> copy."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     coded = b.data("coded", noise_words(202 + offset, n, bits=8))
@@ -96,9 +101,9 @@ def build_djpeg(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_epicenc(dataset: str = "test") -> Program:
+def build_epicenc(dataset: str = "test", seed: int = 0) -> Program:
     """EPIC encode: wavelet-ish filter bank -> quantize -> entropy model."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     img = b.data("img", image_words(303 + offset, n + 24))
@@ -119,9 +124,9 @@ def build_epicenc(dataset: str = "test") -> Program:
     return b.build()
 
 
-def build_epicdec(dataset: str = "test") -> Program:
+def build_epicdec(dataset: str = "test", seed: int = 0) -> Program:
     """EPIC decode: bit unpacking -> dequantize -> synthesis filter."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     packed = b.data("packed", noise_words(404 + offset, n // 4 + 4, bits=31))

@@ -24,17 +24,22 @@ REPLICAS = 6
 DATASET_OFFSETS = {"test": 0, "train": 5000}
 
 
-def _dataset_offset(dataset: str) -> int:
+#: Seed stride: far above any dataset offset, so (dataset, seed) pairs
+#: never collide in the generators' seed space.
+_SEED_STRIDE = 100_003
+
+
+def _dataset_offset(dataset: str, seed: int = 0) -> int:
     try:
-        return DATASET_OFFSETS[dataset]
+        return DATASET_OFFSETS[dataset] + seed * _SEED_STRIDE
     except KeyError:
         raise KeyError(f"unknown dataset {dataset!r}; choose from "
                        f"{sorted(DATASET_OFFSETS)}") from None
 
 
-def build_mpeg2enc(dataset: str = "test") -> Program:
+def build_mpeg2enc(dataset: str = "test", seed: int = 0) -> Program:
     """Motion search -> transform -> quantize -> entropy scan."""
-    offset = _dataset_offset(dataset)
+    offset = _dataset_offset(dataset, seed)
     b = ProgramBuilder()
     n = 64
     cur = b.data("cur", image_words(111 + offset, n + 32))

@@ -40,7 +40,8 @@ class WorkloadSpec:
         name: Mediabench program name (Table 2).
         category: paper's workload category.
         paper_minsts: dynamic instructions (millions) in Table 2.
-        builder: callable(dataset="test") returning the stand-in Program.
+        builder: callable(dataset="test", seed=0) returning the stand-in
+            Program.
     """
 
     def __init__(self, name: str, category: str, paper_minsts: float,
@@ -81,36 +82,43 @@ def workload_names() -> List[str]:
     return list(SUITE.keys())
 
 
-def build_workload(name: str, dataset: str = "test") -> Program:
+def build_workload(name: str, dataset: str = "test",
+                   seed: int = 0) -> Program:
     """Build the stand-in program for Mediabench benchmark *name*.
 
     *dataset* selects the input ("test" or "train"), like Mediabench's
     per-benchmark input files (Table 2's testimg.ppm, clinton.pcm, ...).
+    *seed* varies the input data deterministically within a dataset
+    (seed 0 is the canonical input).  Generation is a pure function of
+    (name, dataset, seed) — no global RNG state is consulted — so two
+    processes building the same workload always produce the identical
+    program.
     """
     try:
         spec = SUITE[name]
     except KeyError:
         raise WorkloadError(f"unknown workload {name!r}; choose from "
                             f"{workload_names()}") from None
-    return spec.builder(dataset=dataset)
+    return spec.builder(dataset=dataset, seed=seed)
 
 
-_trace_cache: Dict[Tuple[str, int, str], List[DynInst]] = {}
+_trace_cache: Dict[Tuple[str, int, str, int], List[DynInst]] = {}
 
 
 def workload_trace(name: str,
                    max_instructions: int = DEFAULT_TRACE_LENGTH,
-                   dataset: str = "test") -> List[DynInst]:
-    """The dynamic trace of *name*, cached per (name, length, dataset).
+                   dataset: str = "test", seed: int = 0) -> List[DynInst]:
+    """The dynamic trace of *name*, cached per (name, length, dataset,
+    seed).
 
     Reusing the cached list across simulator configurations keeps every
     comparison on the exact same instruction stream, like the paper's
     fixed binaries did.
     """
-    key = (name, max_instructions, dataset)
+    key = (name, max_instructions, dataset, seed)
     trace = _trace_cache.get(key)
     if trace is None:
-        program = build_workload(name, dataset=dataset)
+        program = build_workload(name, dataset=dataset, seed=seed)
         trace = list(FunctionalExecutor(program, max_instructions).run())
         _trace_cache[key] = trace
     return trace

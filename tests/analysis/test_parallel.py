@@ -1,0 +1,159 @@
+"""Parallel sweep runner: serial/parallel equivalence, env validation,
+classified retries, deterministic seeding.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (ErrorLedger, run_graceful_sweep,
+                                        run_one_safe)
+from repro.analysis.parallel import (SweepCell, cell_seed,
+                                     is_transient_error, resolve_jobs,
+                                     resolve_trace_length, run_cells)
+from repro.errors import (ConfigError, DeadlockError, DivergenceError,
+                          SimulationError, WorkloadError)
+
+LEN = 400
+
+
+def _cells(include_failure=False):
+    cells = [SweepCell(key=(name, n), workload=name, n_clusters=n,
+                       length=LEN)
+             for name in ("rawcaudio", "gsmdec") for n in (1, 2)]
+    if include_failure:
+        # An unknown workload fails deterministically (WorkloadError)
+        # in whichever process executes it.
+        cells.insert(1, SweepCell(key=("nope", 4), workload="nope",
+                                  n_clusters=4, length=LEN))
+    return cells
+
+
+class TestSerialParallelEquivalence:
+    def test_metrics_identical(self):
+        cells = _cells()
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert list(serial.keys()) == list(parallel.keys())
+        for key in serial:
+            assert serial[key].to_dict() == parallel[key].to_dict()
+
+    def test_ledgers_identical_with_forced_failure(self):
+        cells = _cells(include_failure=True)
+        serial_ledger, parallel_ledger = ErrorLedger(), ErrorLedger()
+        serial = run_cells(cells, jobs=1, ledger=serial_ledger)
+        parallel = run_cells(cells, jobs=2, ledger=parallel_ledger)
+        # The failed cell is omitted from results, present in the ledger.
+        assert ("nope", 4) not in serial
+        assert list(serial.keys()) == list(parallel.keys())
+        assert len(serial) == 4
+        assert serial_ledger.entries == parallel_ledger.entries
+        assert serial_ledger.failed_cells == [("nope", "4cl/none/baseline")]
+        entry = serial_ledger.entries[0]
+        assert entry.error_type == "WorkloadError"
+        # Deterministic failure: exactly one attempt, despite retries=1.
+        assert len(serial_ledger) == 1
+
+    def test_failure_without_ledger_raises_typed_error(self):
+        cells = [SweepCell(key="bad", workload="nope", n_clusters=2,
+                           length=LEN)]
+        with pytest.raises(WorkloadError, match="nope"):
+            run_cells(cells, jobs=1)
+        with pytest.raises(WorkloadError, match="nope"):
+            run_cells([cells[0], cells[0]], jobs=2)
+
+    def test_graceful_sweep_parallel_matches_serial(self):
+        kwargs = dict(workloads=["rawcaudio"], length=300,
+                      configs=[(1, "none", "baseline"),
+                               (2, "stride", "vpb")])
+        serial = run_graceful_sweep(jobs=1, **kwargs)
+        parallel = run_graceful_sweep(jobs=2, **kwargs)
+        assert serial.ipc == parallel.ipc
+        assert serial.ledger.entries == parallel.ledger.entries
+
+
+class TestEnvValidation:
+    def test_malformed_trace_len_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "banana")
+        with pytest.raises(ConfigError, match="REPRO_TRACE_LEN"):
+            resolve_trace_length()
+
+    def test_nonpositive_trace_len_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "0")
+        with pytest.raises(ConfigError, match="positive"):
+            resolve_trace_length()
+
+    def test_explicit_length_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "banana")
+        assert resolve_trace_length(500) == 500
+
+    def test_config_error_still_satisfies_value_error(self, monkeypatch):
+        # Callers catching the historical bare ValueError keep working.
+        monkeypatch.setenv("REPRO_TRACE_LEN", "banana")
+        with pytest.raises(ValueError):
+            resolve_trace_length()
+
+    def test_jobs_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_jobs_env_and_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert resolve_jobs(2) == 2  # explicit wins
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_malformed_jobs_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
+        with pytest.raises(ConfigError, match=">= 0"):
+            resolve_jobs(-1)
+
+
+class TestErrorClassification:
+    def test_deterministic_errors_not_transient(self):
+        for error in (ConfigError("x"), WorkloadError("x"),
+                      DivergenceError("x"), DeadlockError("x")):
+            assert not is_transient_error(error)
+
+    def test_base_simulation_error_is_transient(self):
+        assert is_transient_error(SimulationError("hiccup"))
+        assert is_transient_error(RuntimeError("foreign"))
+
+    def test_run_one_safe_does_not_retry_deterministic(self, monkeypatch):
+        from repro.analysis import experiments
+
+        calls = {"n": 0}
+
+        def poisoned(workload, n_clusters, **kwargs):
+            calls["n"] += 1
+            raise WorkloadError("deterministically broken")
+
+        monkeypatch.setattr(experiments, "run_one", poisoned)
+        ledger = ErrorLedger()
+        result = run_one_safe("rawcaudio", 2, ledger=ledger, retries=3)
+        assert result is None
+        assert calls["n"] == 1  # no retries: the replay would fail alike
+        assert len(ledger) == 1
+        assert ledger.entries[0].error_type == "WorkloadError"
+
+
+class TestCellSeed:
+    def test_deterministic_and_decorrelated(self):
+        args = ("cjpeg", 4, "stride", "vpb", 4000)
+        assert cell_seed(*args) == cell_seed(*args)
+        assert cell_seed(*args) != cell_seed("djpeg", 4, "stride", "vpb",
+                                             4000)
+        assert cell_seed(*args) != cell_seed(*args, salt=1)
+
+    def test_seeded_cells_simulate_on_distinct_data(self):
+        base = SweepCell(key="a", workload="rawcaudio", n_clusters=1,
+                         length=LEN, seed=0)
+        other = SweepCell(key="b", workload="rawcaudio", n_clusters=1,
+                          length=LEN, seed=7)
+        results = run_cells([base, other], jobs=1)
+        # Same program structure, different input data: both complete.
+        assert results["a"].stats.committed_insts > 0
+        assert results["b"].stats.committed_insts > 0

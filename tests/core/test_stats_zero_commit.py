@@ -1,0 +1,90 @@
+"""Every derived rate stays defined when a run commits nothing.
+
+A sweep cell that is truncated (``max_cycles``) or that deadlocks
+before its first commit must still produce a well-formed result row —
+``ZeroDivisionError`` inside a worker process would poison the whole
+parallel sweep.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.core.stats import SimStats
+from repro.workloads import workload_trace
+
+
+def _finite(value):
+    return isinstance(value, float) and math.isfinite(value)
+
+
+class TestEmptyStats:
+    """SimStats() with every counter at zero."""
+
+    def test_ipc_is_zero(self):
+        assert SimStats().ipc == 0.0
+
+    def test_comm_per_inst_is_zero(self):
+        assert SimStats().comm_per_inst == 0.0
+
+    def test_copies_per_inst_is_zero(self):
+        assert SimStats().copies_per_inst == 0.0
+
+    def test_branch_misprediction_rate_is_zero(self):
+        assert SimStats().branch_misprediction_rate == 0.0
+
+    def test_value_misprediction_rate_is_zero(self):
+        assert SimStats().value_misprediction_rate == 0.0
+
+    def test_avg_iq_occupancy_defined(self):
+        stats = SimStats(iq_occupancy_sum=[10, 20])
+        assert stats.avg_iq_occupancy() == [0.0, 0.0]
+
+    def test_issue_utilization_defined(self):
+        stats = SimStats(issued_per_cluster=[5, 5])
+        assert stats.issue_utilization(4) == [0.0, 0.0]
+        # Degenerate width must not divide by zero either.
+        stats.cycles = 100
+        assert stats.issue_utilization(0) == [0.0, 0.0]
+
+    def test_partial_counters_stay_finite(self):
+        # Numerators without denominators: the pathological mix a
+        # truncated run can leave behind.
+        stats = SimStats(communications=7, dispatched_copies=3,
+                         branch_mispredictions=2, mispredicted_operands=1)
+        for value in (stats.ipc, stats.comm_per_inst,
+                      stats.copies_per_inst,
+                      stats.branch_misprediction_rate,
+                      stats.value_misprediction_rate):
+            assert _finite(value) and value == 0.0
+
+
+class TestZeroCommitRun:
+    """A real simulation truncated before its first commit."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = workload_trace("rawcaudio", 200)
+        config = make_config(4, predictor="stride", steering="vpb")
+        return simulate(list(trace), config, max_cycles=2)
+
+    def test_nothing_committed(self, result):
+        assert result.stats.committed_insts == 0
+
+    def test_properties_defined(self, result):
+        assert result.ipc == 0.0
+        assert result.comm_per_inst == 0.0
+        assert _finite(result.imbalance)
+
+    def test_to_dict_json_round_trips(self, result):
+        exported = result.to_dict()
+        assert exported["ipc"] == 0.0
+        assert exported["comm_per_inst"] == 0.0
+        # Every exported number must survive JSON — no inf/nan leaks.
+        json.dumps(exported)
+
+    def test_summary_and_repr_render(self, result):
+        assert "IPC" in result.summary()
+        assert "ipc=" in repr(result)

@@ -6,7 +6,8 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test benchmarks bench-wallclock campaign check clean-results
+.PHONY: test benchmarks bench-wallclock campaign check clean-results \
+	obs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -17,6 +18,20 @@ benchmarks:
 # Serial-vs-parallel sweep wall-clock; appends to BENCH_sweep.json.
 bench-wallclock:
 	$(PYTHON) benchmarks/bench_wallclock.py
+
+# Observability gate (docs/OBSERVABILITY.md): traced runs must stay
+# bit-identical to untraced ones, trace files must validate against
+# their schemas, and ring-buffer tracing must cost < 10% wall-clock.
+obs-check:
+	$(PYTHON) benchmarks/obs_check.py
+
+# A taste of the instrumentation: ASCII pipeline diagram of a window
+# of the dynamic stream plus a Perfetto-loadable trace in results/.
+trace-demo:
+	mkdir -p results
+	$(PYTHON) -m repro trace cjpeg --length 4000 --predictor stride \
+		--steering vpb --first-seq 200 --count 24 \
+		--out results/trace_demo.json
 
 # The robustness campaign: seeds x fault kinds under the golden model,
 # report in results/robustness_campaign.txt, exit 1 on any regression.

@@ -6,6 +6,11 @@ records wall-clock times plus simulated-instructions-per-second into
 ``BENCH_sweep.json`` at the repo root (the perf trajectory file; each
 entry is appended, so the history survives re-runs).
 
+Each entry also carries the serial run's per-cell wall-clock costs
+(the slowest cells, from ``run_cells(timings=...)``) and a tracer
+overhead section comparing an untraced run against ring-buffer and
+JSONL tracing (min-of-N, docs/OBSERVABILITY.md).
+
 Run directly (``python benchmarks/bench_wallclock.py``) or via
 ``make bench-wallclock``.  Knobs: ``REPRO_JOBS`` sets the parallel
 worker count (default: all cores), ``REPRO_TRACE_LEN`` the per-cell
@@ -30,7 +35,10 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
 
 from repro.analysis.parallel import (SweepCell, resolve_jobs,
                                      resolve_trace_length, run_cells)
-from repro.workloads import clear_trace_cache, workload_names
+from repro.core import make_config, simulate
+from repro.obs import EventTracer, JsonlSink, RingBufferSink
+from repro.workloads import clear_trace_cache, workload_names, \
+    workload_trace
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_sweep.json"
@@ -46,15 +54,59 @@ def build_cells(length: int):
             for n, predictor, steering in CONFIGS]
 
 
-def timed_run(cells, jobs: int):
+def timed_run(cells, jobs: int, timings=None):
     # Drop the in-process trace cache so the serial and parallel paths
     # both pay (or amortize) trace generation the same way a fresh
     # campaign would.
     clear_trace_cache()
     start = time.perf_counter()
-    results = run_cells(cells, jobs=jobs)
+    results = run_cells(cells, jobs=jobs, timings=timings)
     elapsed = time.perf_counter() - start
     return results, elapsed
+
+
+def tracer_overhead(length: int, repeats: int = 3) -> dict:
+    """Min-of-N wall-clock of one run untraced vs ring vs JSONL.
+
+    The three variants are interleaved within each repeat so host
+    drift hits them equally; min over repeats filters the noise.
+    Ratios > 1 are tracing cost.
+    """
+    import tempfile
+    trace = list(workload_trace("cjpeg", length))
+    config = make_config(4, predictor="stride", steering="vpb")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.jsonl")
+
+        def jsonl_run():
+            sink = JsonlSink(path, config.describe())
+            simulate(list(trace), config, tracer=EventTracer(sink))
+            sink.close()
+
+        variants = (
+            ("baseline", lambda: simulate(list(trace), config)),
+            ("ring", lambda: simulate(
+                list(trace), config,
+                tracer=EventTracer(RingBufferSink()))),
+            ("jsonl", jsonl_run),
+        )
+        times = {name: [] for name, _ in variants}
+        for _ in range(repeats):
+            for name, run in variants:
+                start = time.perf_counter()
+                run()
+                times[name].append(time.perf_counter() - start)
+    baseline = min(times["baseline"])
+    ring = min(times["ring"])
+    jsonl = min(times["jsonl"])
+    return {
+        "baseline_seconds": round(baseline, 4),
+        "ring_seconds": round(ring, 4),
+        "jsonl_seconds": round(jsonl, 4),
+        "ring_overhead": round(ring / baseline - 1.0, 4),
+        "jsonl_overhead": round(jsonl / baseline - 1.0, 4),
+    }
 
 
 def main() -> int:
@@ -65,10 +117,17 @@ def main() -> int:
     print(f"sweep: {len(cells)} cells x {length} instructions; "
           f"parallel jobs={jobs} (cpu_count={os.cpu_count()})")
 
-    serial, serial_s = timed_run(cells, jobs=1)
+    cell_timings: dict = {}
+    serial, serial_s = timed_run(cells, jobs=1, timings=cell_timings)
     print(f"serial  : {serial_s:.2f}s")
     parallel, parallel_s = timed_run(cells, jobs=jobs)
     print(f"parallel: {parallel_s:.2f}s")
+    slowest = sorted(cell_timings.items(), key=lambda kv: -kv[1])[:5]
+    for key, seconds in slowest:
+        print(f"  slow cell {key}: {seconds:.2f}s")
+    overhead = tracer_overhead(length)
+    print(f"tracer overhead: ring {overhead['ring_overhead']:+.1%}, "
+          f"jsonl {overhead['jsonl_overhead']:+.1%}")
 
     identical = serial.keys() == parallel.keys() and all(
         serial[key].to_dict() == parallel[key].to_dict() for key in serial)
@@ -87,6 +146,10 @@ def main() -> int:
         "serial_insts_per_second": round(insts / serial_s, 1),
         "parallel_insts_per_second": round(insts / parallel_s, 1),
         "metric_identical": identical,
+        "slowest_cells": [{"workload": key[0], "clusters": key[1],
+                           "seconds": round(seconds, 3)}
+                          for key, seconds in slowest],
+        "tracer_overhead": overhead,
     }
     history = []
     if RESULT_PATH.exists():

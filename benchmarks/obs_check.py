@@ -1,0 +1,161 @@
+"""Observability health gate: ``make obs-check``.
+
+Runs one short simulation four ways — untraced, ring-buffer traced,
+JSONL traced, Chrome traced — and asserts the contract documented in
+docs/OBSERVABILITY.md:
+
+1. **Non-invasiveness** — every ``SimStats`` field of the traced runs
+   is bit-identical to the untraced run.
+2. **Completeness** — the tracer's commit-event count equals
+   ``committed_insts + committed_copies + committed_vcopies``.
+3. **Schema validity** — the JSONL file passes
+   :func:`repro.obs.schema.validate_jsonl_trace` and the Chrome file
+   passes :func:`repro.obs.schema.validate_chrome_trace`.
+4. **Overhead** — ring-buffer tracing costs < 10% wall-clock over the
+   untraced run (interleaved min-of-N timing to filter host noise).
+
+Exit code 0 when every check passes, 1 otherwise.  The tier-1 test
+suite runs :func:`run_checks` directly, so a regression in any of
+these fails ``make test`` as well as ``make obs-check``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.core import make_config, simulate
+from repro.obs import (ChromeTraceSink, EventTracer, JsonlSink,
+                       RingBufferSink)
+from repro.obs.events import EV_COMMIT
+from repro.obs.schema import (TraceSchemaError, validate_chrome_trace,
+                              validate_jsonl_trace)
+from repro.workloads import workload_trace
+
+#: Wall-clock overhead budget for ring-buffer tracing.
+OVERHEAD_BUDGET = 0.10
+
+
+def _measure_overhead(trace, config, repeats: int):
+    """Min-of-N interleaved timing of untraced vs ring-traced runs.
+
+    The variants are interleaved so host drift hits both equally, and
+    the cyclic collector is paused inside each timed window:
+    collection *frequency* depends on allocation counts, so with it
+    enabled the traced run pays extra whole-heap scans whose cost is
+    really a property of the host's heap, not of the tracer.  Timing
+    noise is one-sided (preemption and cache pollution only ever
+    *add* time), so min-of-N per variant is the estimator — the
+    fastest run is the closest observation of each variant's true
+    cost.
+    """
+    untraced_times, ring_times = [], []
+    for _ in range(repeats):
+        for times, kwargs in ((untraced_times, {}),
+                              (ring_times,
+                               {"tracer":
+                                EventTracer(RingBufferSink())})):
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                simulate(list(trace), config, **kwargs)
+                times.append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+    untraced_s = min(untraced_times)
+    ring_s = min(ring_times)
+    return untraced_s, ring_s, ring_s / untraced_s - 1.0
+
+
+def run_checks(length: int = 4000, repeats: int = 5,
+               overhead_budget: float = OVERHEAD_BUDGET,
+               check_overhead: bool = True) -> list:
+    """Run every check; returns a list of (name, ok, detail) tuples."""
+    trace = list(workload_trace("cjpeg", length))
+    config = make_config(4, predictor="stride", steering="vpb")
+    checks = []
+
+    if check_overhead:
+        # Timed first, on a clean heap: the schema/serialization
+        # checks below churn enough garbage to visibly slow later
+        # runs.  On a loaded (or single-core) host a sustained burst
+        # of interference can still straddle every ring run of one
+        # measurement, so a reading over budget is re-measured once
+        # with doubled repeats and the better observation wins —
+        # genuine regressions fail both readings.
+        untraced_s, ring_s, overhead = _measure_overhead(
+            trace, config, repeats)
+        if overhead >= overhead_budget:
+            retry = _measure_overhead(trace, config, repeats * 2)
+            if retry[2] < overhead:
+                untraced_s, ring_s, overhead = retry
+        checks.append((f"ring overhead < {overhead_budget:.0%}",
+                       overhead < overhead_budget,
+                       f"{overhead:+.1%} ({untraced_s:.3f}s -> "
+                       f"{ring_s:.3f}s)"))
+
+    base = simulate(list(trace), config)
+    ring_tracer = EventTracer(RingBufferSink())
+    ring = simulate(list(trace), config, tracer=ring_tracer)
+    identical = (dataclasses.asdict(base.stats)
+                 == dataclasses.asdict(ring.stats))
+    checks.append(("non-invasive (stats bit-identical)", identical,
+                   "" if identical else "traced stats diverge"))
+
+    stats = ring.stats
+    expected = (stats.committed_insts + stats.committed_copies
+                + stats.committed_vcopies)
+    commits = ring_tracer.counts[EV_COMMIT]
+    checks.append(("commit events == committed uops",
+                   commits == expected,
+                   f"{commits} events vs {expected} committed"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl_path = os.path.join(tmp, "trace.jsonl")
+        chrome_path = os.path.join(tmp, "trace.json")
+        with JsonlSink(jsonl_path, config.describe()) as sink:
+            simulate(list(trace), config, tracer=EventTracer(sink))
+        with ChromeTraceSink(chrome_path, config.describe()) as sink:
+            simulate(list(trace), config, tracer=EventTracer(sink))
+        for label, validate, path in (
+                ("jsonl schema", validate_jsonl_trace, jsonl_path),
+                ("chrome schema", validate_chrome_trace, chrome_path)):
+            try:
+                count = validate(path)
+                checks.append((label, True, f"{count} events"))
+            except TraceSchemaError as error:
+                checks.append((label, False, str(error)))
+
+    return checks
+
+
+def main() -> int:
+    checks = run_checks()
+    width = max(len(name) for name, _, _ in checks)
+    failed = 0
+    for name, ok, detail in checks:
+        mark = "ok " if ok else "FAIL"
+        line = f"{mark} {name:<{width}}"
+        if detail:
+            line += f"  {detail}"
+        print(line)
+        if not ok:
+            failed += 1
+    if failed:
+        print(f"\n{failed} observability check(s) failed")
+        return 1
+    print("\nall observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ from .experiments import (AblationResult, ErrorLedger, Figure2Result,
                           simulate_cell, trace_length)
 from .export import (ablation_rows, figure2_rows, figure3_rows,
                      figure4_rows, figure5_rows, headline_rows,
-                     scaling_rows, to_csv, to_json)
+                     interval_rows, scaling_rows, to_csv, to_json)
 from .metrics import ipcr, mean, pct_change, suite_mean
 from .parallel import (CellFailure, CellOutcome, SweepCell, cell_seed,
                        is_transient_error, resolve_jobs,
@@ -24,8 +24,8 @@ from .parallel import (CellFailure, CellOutcome, SweepCell, cell_seed,
                        simulate_sweep_cell)
 from .report import (bar, format_ablation, format_figure2, format_figure3,
                      format_figure4, format_figure5, format_headline, table)
-from .timeline import (TimelineProcessor, capture_timeline,
-                       pipeline_timeline, render_timeline)
+from .timeline import (capture_timeline, pipeline_timeline,
+                       render_timeline, timeline_from_events)
 
 __all__ = [
     "AblationResult", "Figure2Result", "Figure3Result", "Figure4Result",
@@ -46,9 +46,10 @@ __all__ = [
     "run_cells", "simulate_sweep_cell",
     "ipcr", "mean", "pct_change", "suite_mean",
     "ablation_rows", "figure2_rows", "figure3_rows", "figure4_rows",
-    "figure5_rows", "headline_rows", "scaling_rows", "to_csv", "to_json",
+    "figure5_rows", "headline_rows", "interval_rows", "scaling_rows",
+    "to_csv", "to_json",
     "bar", "format_ablation", "format_figure2", "format_figure3",
     "format_figure4", "format_figure5", "format_headline", "table",
-    "TimelineProcessor", "capture_timeline", "pipeline_timeline",
-    "render_timeline",
+    "capture_timeline", "pipeline_timeline",
+    "render_timeline", "timeline_from_events",
 ]

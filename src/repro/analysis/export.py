@@ -18,8 +18,8 @@ from .experiments import (AblationResult, Figure2Result, Figure3Result,
                           ScalingResult)
 
 __all__ = ["figure2_rows", "figure3_rows", "figure4_rows", "figure5_rows",
-           "ablation_rows", "headline_rows", "scaling_rows", "to_csv",
-           "to_json"]
+           "ablation_rows", "headline_rows", "interval_rows",
+           "scaling_rows", "to_csv", "to_json"]
 
 
 def figure2_rows(result: Figure2Result) -> list:
@@ -81,6 +81,15 @@ def scaling_rows(result: ScalingResult) -> list:
                          "ipc": result.ipc[key], "ipcr": result.ipcr[key],
                          "comm_per_inst": result.comm[key]})
     return rows
+
+
+def interval_rows(metrics) -> list:
+    """Flattened sample rows from a :class:`repro.obs.IntervalMetrics`.
+
+    One dict per sampled interval, list-valued gauges expanded to
+    ``name_c<i>`` columns — ready for :func:`to_csv`/:func:`to_json`.
+    """
+    return metrics.rows()
 
 
 def to_json(rows: list, path: str = None) -> str:

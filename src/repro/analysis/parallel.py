@@ -32,6 +32,7 @@ harness hiccups, injected-fault trips) are retried.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -191,11 +192,14 @@ class CellOutcome:
 
     ``result`` is ``None`` when every attempt failed; ``failures``
     lists the failed attempts in order (empty on first-try success).
+    ``seconds`` is the worker-side wall-clock cost of the cell across
+    all attempts (host profiling; no effect on simulated results).
     """
 
     key: Any
     result: Optional[SimResult] = None
     failures: List[CellFailure] = field(default_factory=list)
+    seconds: float = 0.0
 
 
 def simulate_sweep_cell(cell: SweepCell) -> SimResult:
@@ -220,16 +224,20 @@ def _execute_cell(cell: SweepCell, retries: int) -> CellOutcome:
     input explicitly; nothing here reads the environment.
     """
     outcome = CellOutcome(cell.key)
-    for attempt in range(1 + max(0, retries)):
-        try:
-            outcome.result = simulate_sweep_cell(cell)
-            return outcome
-        except Exception as error:  # noqa: BLE001 - sweeps must survive
-            outcome.failures.append(CellFailure(
-                attempt + 1, type(error).__name__, str(error)))
-            if not is_transient_error(error):
-                return outcome  # deterministic: replay would fail alike
-    return outcome
+    start = time.perf_counter()
+    try:
+        for attempt in range(1 + max(0, retries)):
+            try:
+                outcome.result = simulate_sweep_cell(cell)
+                return outcome
+            except Exception as error:  # noqa: BLE001 - sweeps survive
+                outcome.failures.append(CellFailure(
+                    attempt + 1, type(error).__name__, str(error)))
+                if not is_transient_error(error):
+                    return outcome  # deterministic: replay fails alike
+        return outcome
+    finally:
+        outcome.seconds = time.perf_counter() - start
 
 
 #: Worker entry point: (cell, retries) tuple -> CellOutcome.
@@ -259,7 +267,9 @@ def _raise_failure(cell: SweepCell, failure: CellFailure) -> None:
 
 
 def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
-              ledger=None, retries: int = 1) -> Dict[Any, SimResult]:
+              ledger=None, retries: int = 1,
+              timings: Optional[Dict[Any, float]] = None
+              ) -> Dict[Any, SimResult]:
     """Execute *cells* and return ``{cell.key: SimResult}``.
 
     Args:
@@ -273,6 +283,9 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
             re-raised (fail-fast, the figure drivers' behaviour).
         retries: extra attempts for cells failing with *transient*
             errors; deterministic failures are never retried.
+        timings: optional dict receiving ``{cell.key: seconds}`` —
+            each cell's worker-side wall-clock cost (all attempts),
+            for sweep profiling (benchmarks/BENCH_sweep.json).
 
     Both execution paths call the same per-cell function, and outcomes
     are folded in submission order, so serial and parallel runs produce
@@ -287,6 +300,8 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
                                      [(cell, retries) for cell in cells]))
     results: Dict[Any, SimResult] = {}
     for cell, outcome in zip(cells, outcomes):
+        if timings is not None:
+            timings[cell.key] = outcome.seconds
         if ledger is not None:
             for failure in outcome.failures:
                 ledger.record_failure(cell.workload, cell.config_label,

@@ -12,6 +12,11 @@ mechanics of §2.1/§2.2 directly visible:
 
 Stage letters: F fetch, D dispatch, I issue (lower-case ``i`` for a
 reissue), W writeback/complete, R retire.
+
+The timeline is a pure fold over the structured event stream emitted by
+:class:`repro.obs.EventTracer` — the capture run is an ordinary
+:func:`repro.core.simulator.simulate` call with a tracer attached, so
+the timing behaviour is exactly that of an untraced run.
 """
 
 from __future__ import annotations
@@ -19,74 +24,66 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..core.config import ProcessorConfig
-from ..core.processor import Processor
+from ..core.simulator import simulate
 from ..isa.instruction import DynInst
+from ..obs.events import (EV_COMMIT, EV_COMPLETE, EV_DISPATCH, EV_ISSUE,
+                          KIND_NAMES)
+from ..obs.sinks import ListSink
+from ..obs.tracer import EventTracer
 
-__all__ = ["TimelineProcessor", "capture_timeline", "render_timeline",
+__all__ = ["timeline_from_events", "capture_timeline", "render_timeline",
            "pipeline_timeline"]
 
 
-class TimelineProcessor(Processor):
-    """A Processor that records per-uop stage timestamps.
+def timeline_from_events(events: Iterable[tuple]) -> Dict[int, dict]:
+    """Fold a raw event stream into per-uop stage timestamps.
 
-    ``timeline`` maps uop order -> event dict with keys ``fetch``,
+    Returns a map of uop order -> event dict with keys ``fetch``,
     ``dispatch``, ``issues`` (list), ``complete``, ``commit``, plus
     identification (``kind``, ``op``, ``seq``, ``pc``, ``cluster``).
+    A reissued uop accumulates extra entries in ``issues`` and its
+    ``complete`` reflects the final (architecturally used) writeback.
     """
-
-    def __init__(self, config: ProcessorConfig, trace) -> None:
-        super().__init__(config, trace)
-        self.timeline: Dict[int, dict] = {}
-
-    def _dispatch(self, fetched, cluster_id, plan, cycle):
-        first_order = self._next_order
-        super()._dispatch(fetched, cluster_id, plan, cycle)
-        # The uops just appended (instruction + helpers) are the ROB tail.
-        count = self._next_order - first_order
-        for uop in list(self.rob)[-count:]:
-            self.timeline[uop.order] = {
-                "kind": uop.kind_name(),
-                "op": uop.dyn.op.name if uop.dyn is not None else "?",
-                "seq": uop.dyn.seq if uop.dyn is not None else None,
-                "pc": uop.dyn.pc if uop.dyn is not None else None,
-                "cluster": uop.cluster,
-                "fetch": fetched.fetch_cycle,
+    timeline: Dict[int, dict] = {}
+    for event in events:
+        cycle, code = event[0], event[1]
+        if code == EV_DISPATCH:
+            order, kind, seq, pc, cluster, op, fetch_cycle = event[2:]
+            timeline[order] = {
+                "kind": KIND_NAMES[kind],
+                "op": op,
+                "seq": seq,
+                "pc": pc,
+                "cluster": cluster,
+                "fetch": fetch_cycle,
                 "dispatch": cycle,
                 "issues": [],
                 "complete": None,
                 "commit": None,
             }
-
-    def _mark_issued(self, uop, cycle):
-        super()._mark_issued(uop, cycle)
-        entry = self.timeline.get(uop.order)
-        if entry is not None:
-            entry["issues"].append(cycle)
-
-    def _complete(self, uop, cycle):
-        super()._complete(uop, cycle)
-        entry = self.timeline.get(uop.order)
-        if entry is not None and uop.complete_cycle == cycle:
-            entry["complete"] = cycle
-
-    def _commit(self, cycle):
-        before = {uop.order for uop in self.rob}
-        retired = super()._commit(cycle)
-        if retired:
-            after = {uop.order for uop in self.rob}
-            for order in before - after:
-                entry = self.timeline.get(order)
-                if entry is not None:
-                    entry["commit"] = cycle
-        return retired
+        elif code == EV_ISSUE:
+            entry = timeline.get(event[2])
+            if entry is not None:
+                entry["issues"].append(cycle)
+        elif code == EV_COMPLETE:
+            entry = timeline.get(event[2])
+            if entry is not None:
+                entry["complete"] = cycle
+        elif code == EV_COMMIT:
+            entry = timeline.get(event[2])
+            if entry is not None:
+                entry["commit"] = cycle
+    return timeline
 
 
 def capture_timeline(trace: Iterable[DynInst], config: ProcessorConfig,
                      max_cycles: Optional[int] = None) -> Dict[int, dict]:
     """Run *trace* and return the recorded per-uop timeline."""
-    processor = TimelineProcessor(config, iter(list(trace)))
-    processor.run(max_cycles=max_cycles)
-    return processor.timeline
+    sink = ListSink()
+    tracer = EventTracer(sink)
+    simulate(iter(list(trace)), config, max_cycles=max_cycles,
+             tracer=tracer)
+    return timeline_from_events(sink.events)
 
 
 def render_timeline(timeline: Dict[int, dict], first_seq: int = 0,

@@ -3,7 +3,12 @@
 Commands:
 
 * ``list-workloads`` — the Table 2 stand-in suite.
-* ``simulate`` — one (workload, configuration) run with a summary.
+* ``simulate`` — one (workload, configuration) run with a summary;
+  ``--trace-out`` / ``--metrics-out`` / ``--metrics-interval`` /
+  ``--profile`` attach the observability layer
+  (docs/OBSERVABILITY.md).
+* ``trace`` — ASCII pipeline diagram of a window of the dynamic
+  stream, optionally also writing a Perfetto-loadable trace file.
 * ``figure2`` / ``figure3`` / ``figure4a`` / ``figure4b`` / ``figure5``
   — regenerate one paper figure as an ASCII report.
 * ``headline`` — the §6 paper-vs-measured summary table.
@@ -53,26 +58,39 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-workloads", help="show the Table 2 suite")
 
     sim = sub.add_parser("simulate", help="run one configuration")
-    sim.add_argument("workload", choices=workload_names())
-    sim.add_argument("--clusters", type=int, default=4, choices=(1, 2, 4))
-    sim.add_argument("--predictor", default="none",
-                     choices=("none", "stride", "context", "hybrid",
-                              "perfect"))
-    sim.add_argument("--steering", default="baseline",
-                     choices=("baseline", "modified", "vpb", "round-robin",
-                              "balance-only", "dependence-only"))
-    sim.add_argument("--length", type=int, default=12_000,
-                     help="dynamic instructions to simulate")
-    sim.add_argument("--comm-latency", type=int, default=1)
-    sim.add_argument("--paths", type=int, default=None,
-                     help="interconnect paths per cluster (default: "
-                          "unbounded)")
+    _add_config_flags(sim)
     sim.add_argument("--check", action="store_true",
                      help="co-simulate against the golden model and fail "
                           "on any divergence")
     sim.add_argument("--inject", default=None, metavar="SPEC",
                      help="fault-injection spec, e.g. 'value:0.02' or "
                           "'value:0.05,steer:0.01@seed=7'")
+    sim.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the structured event trace: *.jsonl for "
+                          "JSON Lines, anything else for Chrome "
+                          "trace-event JSON (load in ui.perfetto.dev)")
+    sim.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write interval metric samples: *.csv or "
+                          "*.json (implies --metrics-interval 1000 "
+                          "unless given)")
+    sim.add_argument("--metrics-interval", type=int, default=None,
+                     metavar="N", help="sample interval metrics every N "
+                     "cycles and print a time-resolved summary")
+    sim.add_argument("--profile", action="store_true",
+                     help="attribute host wall-clock time across "
+                          "simulator loop stages")
+
+    trc = sub.add_parser(
+        "trace",
+        help="pipeline diagram of a window of the dynamic stream")
+    _add_config_flags(trc)
+    trc.add_argument("--first-seq", type=int, default=0,
+                     help="first dynamic instruction of the window")
+    trc.add_argument("--count", type=int, default=24,
+                     help="window length in dynamic instructions")
+    trc.add_argument("--out", default=None, metavar="PATH",
+                     help="also write the full run's Chrome trace-event "
+                          "JSON (load in ui.perfetto.dev)")
 
     camp = sub.add_parser(
         "campaign",
@@ -109,6 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """Workload + processor-configuration flags shared by run commands."""
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument("--clusters", type=int, default=4,
+                        choices=(1, 2, 4))
+    parser.add_argument("--predictor", default="none",
+                        choices=("none", "stride", "context", "hybrid",
+                                 "perfect"))
+    parser.add_argument("--steering", default="baseline",
+                        choices=("baseline", "modified", "vpb",
+                                 "round-robin", "balance-only",
+                                 "dependence-only"))
+    parser.add_argument("--length", type=int, default=12_000,
+                        help="dynamic instructions to simulate")
+    parser.add_argument("--comm-latency", type=int, default=1)
+    parser.add_argument("--paths", type=int, default=None,
+                        help="interconnect paths per cluster (default: "
+                             "unbounded)")
+
+
 def _subset(args) -> Optional[List[str]]:
     if args.workloads is None:
         return None
@@ -141,19 +179,66 @@ def _validate_simulate_args(args) -> None:
         raise ConfigError(
             f"--paths must be >= 1, got {args.paths} "
             f"(omit the flag for an unbounded interconnect)")
+    interval = getattr(args, "metrics_interval", None)
+    if interval is not None and interval < 1:
+        raise ConfigError(
+            f"--metrics-interval must be >= 1 cycle, got {interval}")
+
+
+def _make_cli_config(args):
+    return make_config(args.clusters, predictor=args.predictor,
+                       steering=args.steering,
+                       comm_latency=args.comm_latency,
+                       comm_paths_per_cluster=args.paths)
+
+
+def _open_trace_sink(path: str, config_label: str):
+    """Pick a sink by file extension: .jsonl streams lines, anything
+    else accumulates a Chrome trace-event object."""
+    from .obs import ChromeTraceSink, JsonlSink
+    if path.endswith(".jsonl"):
+        return JsonlSink(path, config_label)
+    return ChromeTraceSink(path, config_label)
 
 
 def _cmd_simulate(args) -> None:
     _validate_simulate_args(args)
     fault_plan = FaultPlan.parse(args.inject) if args.inject else None
     trace = workload_trace(args.workload, args.length)
-    config = make_config(args.clusters, predictor=args.predictor,
-                         steering=args.steering,
-                         comm_latency=args.comm_latency,
-                         comm_paths_per_cluster=args.paths)
+    config = _make_cli_config(args)
+    tracer = None
+    sink = None
+    if args.trace_out:
+        from .obs import EventTracer
+        sink = _open_trace_sink(args.trace_out, config.describe())
+        tracer = EventTracer(sink)
+    metrics_interval = args.metrics_interval
+    if metrics_interval is None and args.metrics_out:
+        metrics_interval = 1000
     result = simulate(list(trace), config, check=args.check,
-                      fault_plan=fault_plan)
+                      fault_plan=fault_plan, tracer=tracer,
+                      metrics_interval=metrics_interval,
+                      profile=args.profile)
+    if sink is not None:
+        sink.close()
     print(result.summary())
+    if tracer is not None:
+        print(f"trace               : {tracer.total_events} events "
+              f"-> {args.trace_out}")
+    if result.metrics is not None:
+        print()
+        print(result.metrics.summary())
+        if args.metrics_out:
+            rows = analysis.interval_rows(result.metrics)
+            if args.metrics_out.endswith(".csv"):
+                analysis.to_csv(rows, args.metrics_out)
+            else:
+                analysis.to_json(rows, args.metrics_out)
+            print(f"metrics             : {len(rows)} samples "
+                  f"-> {args.metrics_out}")
+    if result.profile is not None:
+        print()
+        print(result.profile.report())
     if args.check:
         print(f"golden check        : OK "
               f"({result.validation.get('golden_commits', 0)} commits, "
@@ -165,6 +250,26 @@ def _cmd_simulate(args) -> None:
         print(f"value detection     : {report.detected_values}/"
               f"{report.injected_values} "
               f"({report.detection_rate:.0%})")
+
+
+def _cmd_trace(args) -> None:
+    _validate_simulate_args(args)
+    if args.count < 1:
+        raise ConfigError(f"--count must be >= 1, got {args.count}")
+    from .obs import EventTracer, ListSink
+    config = _make_cli_config(args)
+    trace = list(workload_trace(args.workload, args.length))
+    sink = ListSink()
+    simulate(trace, config, tracer=EventTracer(sink))
+    timeline = analysis.timeline_from_events(sink.events)
+    print(analysis.render_timeline(timeline, args.first_seq, args.count))
+    if args.out:
+        chrome = _open_trace_sink(args.out, config.describe())
+        for event in sink.events:
+            chrome.append(event)
+        chrome.close()
+        print(f"\nfull trace ({len(sink.events)} events) "
+              f"written to {args.out}")
 
 
 def _cmd_campaign(args) -> None:
@@ -249,6 +354,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_list_workloads()
         elif args.command == "simulate":
             _cmd_simulate(args)
+        elif args.command == "trace":
+            _cmd_trace(args)
         elif args.command == "campaign":
             _cmd_campaign(args)
         else:

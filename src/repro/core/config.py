@@ -118,6 +118,12 @@ class ProcessorConfig:
     # co-simulator is enabled (see ``repro.validation.golden``).
     golden_interval: int = 256
 
+    # Interval metrics (docs/OBSERVABILITY.md): when set, the processor
+    # samples its counter/gauge registry every this-many cycles into a
+    # time series (``result.metrics``).  ``None`` disables sampling
+    # entirely (no per-cycle cost beyond a None check).
+    metrics_interval: Optional[int] = None
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent parameters."""
         if self.n_clusters < 1:
@@ -144,6 +150,9 @@ class ProcessorConfig:
             raise ConfigError("comm_latency must be >= 1")
         if self.golden_interval < 1:
             raise ConfigError("golden_interval must be >= 1")
+        if self.metrics_interval is not None and self.metrics_interval < 1:
+            raise ConfigError("metrics_interval must be >= 1 cycle "
+                              "(or None to disable sampling)")
         if self.deadlock_cycles < 1:
             raise ConfigError("deadlock_cycles must be >= 1")
 

@@ -36,6 +36,11 @@ from ..interconnect import Interconnect
 from ..isa.instruction import DynInst
 from ..isa.registers import NUM_LOGICAL_REGS, ZERO_REG, is_fp_reg
 from ..memory import MemoryHierarchy
+from ..obs.events import (EV_COMMIT, EV_COMPLETE, EV_COPY_SEND,
+                          EV_DISPATCH, EV_FETCH, EV_ISSUE, EV_SQUASH,
+                          EV_STEER, EV_VCOPY_VERIFY)
+from ..obs.interval import IntervalMetrics
+from ..obs.tracer import POSTMORTEM_WINDOW
 from ..predictor import (ContextPredictor, HybridPredictor, NullPredictor,
                          PerfectPredictor, StridePredictor, ValuePredictor)
 from ..rename import RenameUnit
@@ -110,10 +115,19 @@ class Processor:
             :class:`~repro.validation.faults.FaultInjector`; perturbs
             predictions, steering and the interconnect, and is notified
             when an injected corruption is caught by verification.
+        tracer: optional :class:`~repro.obs.EventTracer`; the pipeline
+            stages emit typed events into it (docs/OBSERVABILITY.md).
+        profiler: optional :class:`~repro.obs.PhaseProfiler`; the run
+            loop attributes host wall-clock to its pipeline stages.
+
+    All three observers are strictly read-only: with any combination
+    installed, the committed instruction stream and every ``SimStats``
+    field are identical to an uninstrumented run.
     """
 
     def __init__(self, config: ProcessorConfig, trace, *,
-                 golden=None, injector=None) -> None:
+                 golden=None, injector=None, tracer=None,
+                 profiler=None) -> None:
         config.validate()
         if injector is not None and config.predictor == "perfect":
             raise ConfigError(
@@ -123,6 +137,11 @@ class Processor:
         self.config = config
         self._golden = golden
         self._injector = injector
+        self._tracer = tracer
+        self.profiler = profiler
+        self.metrics = (IntervalMetrics(config.metrics_interval,
+                                        config.n_clusters)
+                        if config.metrics_interval else None)
         self.stats = SimStats()
         self.stats.dispatch_per_cluster = [0] * config.n_clusters
         self.stats.issued_per_cluster = [0] * config.n_clusters
@@ -150,6 +169,7 @@ class Processor:
                                          config.comm_latency,
                                          config.comm_paths_per_cluster,
                                          fault_injector=injector)
+        self.interconnect.tracer = tracer
         self.vp = _build_predictor(config)
         self._vp_enabled = config.predictor != "none"
         # The perfect predictor is the paper's idealized upper bound
@@ -181,11 +201,23 @@ class Processor:
 
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
         """Simulate until the trace drains; returns the result bundle."""
+        if self.profiler is not None:
+            self._run_profiled(max_cycles)
+        else:
+            self._run_plain(max_cycles)
+        return self._finalize()
+
+    def _run_plain(self, max_cycles: Optional[int]) -> None:
+        """The uninstrumented (and profiler-free) timing loop."""
         watchdog = self.watchdog
+        metrics = self.metrics
+        interval = metrics.interval if metrics is not None else 0
         while not (self.fetch.done and not self.rob):
             cycle = self.cycle
             if max_cycles is not None and cycle >= max_cycles:
                 break
+            if metrics is not None and cycle and cycle % interval == 0:
+                metrics.sample(self, cycle)
             self._dports_used = 0
             for cluster in self.clusters:
                 cluster.fupool.begin_cycle(cycle)
@@ -201,6 +233,64 @@ class Processor:
             if cycle and cycle % 8192 == 0:
                 self.interconnect.prune(cycle)
             self.cycle += 1
+
+    def _run_profiled(self, max_cycles: Optional[int]) -> None:
+        """The same loop with host wall-clock attribution per stage.
+
+        Stage order and semantics are identical to :meth:`_run_plain`;
+        the only additions are ``perf_counter`` brackets, so the
+        simulated outcome is unchanged.  Kept separate so the common
+        case carries no timing calls at all.
+        """
+        watchdog = self.watchdog
+        metrics = self.metrics
+        interval = metrics.interval if metrics is not None else 0
+        profiler = self.profiler
+        seconds = profiler.seconds
+        clock = profiler.clock
+        run_start = clock()
+        while not (self.fetch.done and not self.rob):
+            cycle = self.cycle
+            if max_cycles is not None and cycle >= max_cycles:
+                break
+            t0 = clock()
+            if metrics is not None and cycle and cycle % interval == 0:
+                metrics.sample(self, cycle)
+            self._dports_used = 0
+            for cluster in self.clusters:
+                cluster.fupool.begin_cycle(cycle)
+            t1 = clock()
+            seconds["other"] += t1 - t0
+            self._process_events(cycle)
+            self._drain_store_data(cycle)
+            t2 = clock()
+            seconds["events"] += t2 - t1
+            if self._commit(cycle):
+                watchdog.note_commit(cycle)
+            else:
+                watchdog.check(cycle)
+            t3 = clock()
+            seconds["commit"] += t3 - t2
+            self._issue(cycle)
+            t4 = clock()
+            seconds["issue"] += t4 - t3
+            self._decode(cycle)
+            t5 = clock()
+            seconds["decode"] += t5 - t4
+            self.fetch.tick(cycle)
+            t6 = clock()
+            seconds["fetch"] += t6 - t5
+            if cycle and cycle % 8192 == 0:
+                self.interconnect.prune(cycle)
+                seconds["other"] += clock() - t6
+            profiler.note_cycle()
+            self.cycle += 1
+        profiler.total_seconds += clock() - run_start
+
+    def _finalize(self) -> SimResult:
+        """Assemble the result bundle after the loop drains or stops."""
+        if self.metrics is not None:
+            self.metrics.finish(self, self.cycle)
         self.stats.cycles = self.cycle
         self.stats.avg_imbalance = self.nready.average
         self.stats.cond_branches = self.bpred.stats.lookups
@@ -229,7 +319,8 @@ class Processor:
             self.stats.injected_faults = report.total_injected
             self.stats.detected_faults = report.detected_values
         return SimResult(self.stats, self.config, self.memory.stats(),
-                         vp_stats, bp_stats, validation)
+                         vp_stats, bp_stats, validation,
+                         metrics=self.metrics, profile=self.profiler)
 
     def describe_state(self) -> str:
         """One-line-per-structure snapshot for debugging stuck runs."""
@@ -281,7 +372,11 @@ class Processor:
             inflight_bus_messages=self.interconnect.inflight(cycle),
             pending_store_addrs=len(self._pending_store_addrs),
             stores_awaiting_data=len(self._stores_awaiting_data),
-            decode_stalls=dict(self.stats.decode_stalls))
+            decode_stalls=dict(self.stats.decode_stalls),
+            dispatched_per_cluster=list(self.stats.dispatch_per_cluster),
+            issued_per_cluster=list(self.stats.issued_per_cluster),
+            recent_events=(self._tracer.recent(POSTMORTEM_WINDOW)
+                           if self._tracer is not None else []))
 
     # ----------------------------------------------------------- writeback --
 
@@ -308,6 +403,14 @@ class Processor:
             return
         uop.state = STATE_DONE
         uop.complete_cycle = cycle
+        tracer = self._tracer
+        if tracer is not None:
+            # Inline emission (here and at every hook below): a bound
+            # C append is ~10x cheaper than a tracer method call, and
+            # writeback/issue/commit each fire once per uop.
+            tracer.counts[EV_COMPLETE] += 1
+            tracer.emit((cycle, EV_COMPLETE, uop.order, uop.kind,
+                         uop.cluster))
         if uop.kind == KIND_VCOPY:
             operand = uop.consumer_operand
             if operand.correct and not operand.verified:
@@ -384,6 +487,11 @@ class Processor:
                 uop.min_issue_cycle = cycle
             uop.reissue_count += 1
             self.stats.invalidations += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.counts[EV_SQUASH] += 1
+                tracer.emit((cycle, EV_SQUASH, uop.order, uop.kind,
+                             uop.cluster, uop.generation))
             if uop.dest_preg is not None:
                 regfile = self.clusters[uop.dest_cluster].regfile
                 regfile.set_pending(uop.dest_preg, uop)
@@ -403,6 +511,7 @@ class Processor:
         rob = self.rob
         retired = 0
         budget = self.config.retire_width
+        tracer = self._tracer
         while rob and retired < budget:
             uop = rob[0]
             if (uop.state != STATE_DONE or uop.unverified > 0
@@ -427,6 +536,12 @@ class Processor:
                 self.clusters[uop.dest_cluster].regfile.producer[
                     uop.dest_preg] = None
             uop.readers = []
+            if tracer is not None:
+                tracer.counts[EV_COMMIT] += 1
+                tracer.emit((
+                    cycle, EV_COMMIT, uop.order, uop.kind,
+                    uop.dyn.seq if uop.dyn is not None else -1,
+                    uop.cluster))
             if uop.kind == KIND_INST:
                 self.stats.committed_insts += 1
                 if self._golden is not None:
@@ -629,6 +744,11 @@ class Processor:
         uop.issue_cycle = cycle
         self.stats.issued_uops += 1
         self.stats.issued_per_cluster[uop.cluster] += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.counts[EV_ISSUE] += 1
+            tracer.emit((cycle, EV_ISSUE, uop.order, uop.kind,
+                         uop.cluster, uop.reissue_count))
         self._register_readers(uop)
 
     def _issue_inst(self, uop: Uop, cycle: int) -> None:
@@ -667,6 +787,11 @@ class Processor:
         self._mark_issued(uop, cycle)
         self.stats.communications += 1
         arrival = self.interconnect.arrival_cycle(cycle + 1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.counts[EV_COPY_SEND] += 1
+            tracer.emit((cycle, EV_COPY_SEND, uop.order, uop.cluster,
+                         uop.dest_cluster, arrival))
         remote = self.clusters[uop.dest_cluster].regfile
         remote.set_ready(uop.dest_preg, arrival)
         remote.producer[uop.dest_preg] = uop
@@ -675,6 +800,11 @@ class Processor:
     def _issue_vcopy(self, uop: Uop, cycle: int, mismatch: bool) -> None:
         """Local compare; forward (and reissue the consumer) on mismatch."""
         self._mark_issued(uop, cycle)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.counts[EV_VCOPY_VERIFY] += 1
+            tracer.emit((cycle, EV_VCOPY_VERIFY, uop.order, uop.cluster,
+                         not mismatch))
         if mismatch:
             self.stats.communications += 1
             self.stats.mismatch_forwards += 1
@@ -936,16 +1066,33 @@ class Processor:
             uop.free_on_commit = previous
             self.clusters[cluster_id].regfile.set_pending(preg, uop)
         # Helpers precede the instruction in dispatch (and ROB) order.
+        tracer = self._tracer
         for helper in helpers:
             helper.order = self._next_order
             self._next_order += 1
             self.rob.append(helper)
             self.clusters[helper.cluster].iq_for(helper.int_side).dispatch(
                 helper)
+            if tracer is not None:
+                tracer.counts[EV_DISPATCH] += 1
+                tracer.emit((cycle, EV_DISPATCH, helper.order, helper.kind,
+                             dyn.seq, dyn.pc, helper.cluster, dyn.op.name,
+                             fetched.fetch_cycle))
         uop.order = self._next_order
         self._next_order += 1
         self.rob.append(uop)
         self.clusters[cluster_id].iq_for(uop.int_side).dispatch(uop)
+        if tracer is not None:
+            counts = tracer.counts
+            emit = tracer.emit
+            counts[EV_FETCH] += 1
+            emit((fetched.fetch_cycle, EV_FETCH, dyn.seq, dyn.pc))
+            counts[EV_STEER] += 1
+            emit((cycle, EV_STEER, dyn.seq, cluster_id,
+                  self.steerer.last_reason))
+            counts[EV_DISPATCH] += 1
+            emit((cycle, EV_DISPATCH, uop.order, KIND_INST, dyn.seq,
+                  dyn.pc, cluster_id, dyn.op.name, fetched.fetch_cycle))
         if dyn.is_store:
             self._pending_store_addrs.add(dyn.seq)
         self.dcount.dispatch(cluster_id)

@@ -20,6 +20,7 @@ enables the seeded fault-injection harness.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, List, Optional, Union
 
 from ..isa.executor import FunctionalExecutor
@@ -38,7 +39,10 @@ def simulate(workload: Traceable, config: ProcessorConfig,
              max_instructions: int = 1_000_000,
              max_cycles: Optional[int] = None,
              check: bool = False,
-             fault_plan=None) -> SimResult:
+             fault_plan=None,
+             tracer=None,
+             metrics_interval: Optional[int] = None,
+             profile: bool = False) -> SimResult:
     """Simulate *workload* on the processor described by *config*.
 
     Args:
@@ -56,6 +60,17 @@ def simulate(workload: Traceable, config: ProcessorConfig,
             inject seeded faults; the resulting
             :class:`~repro.validation.faults.FaultReport` is attached
             to ``result.validation["fault_report"]``.
+        tracer: a :class:`~repro.obs.EventTracer` receiving structured
+            pipeline events (docs/OBSERVABILITY.md); None disables
+            tracing entirely.
+        metrics_interval: overrides ``config.metrics_interval`` when
+            given; enables interval metric sampling every N cycles,
+            attached as ``result.metrics``.
+        profile: attribute host wall-clock time across simulator loop
+            stages, attached as ``result.profile``.
+
+    Every observer is strictly read-only: the committed stream and all
+    ``SimStats`` fields are bit-identical with and without them.
     """
     golden = None
     injector = None
@@ -70,17 +85,29 @@ def simulate(workload: Traceable, config: ProcessorConfig,
         if fault_plan is not None:
             fault_plan.validate()
             injector = FaultInjector(fault_plan)
+    if metrics_interval is not None:
+        config = dataclasses.replace(config,
+                                     metrics_interval=metrics_interval)
+        config.validate()
+    profiler = None
+    if profile:
+        from ..obs.profiler import PhaseProfiler
+        profiler = PhaseProfiler()
     if isinstance(workload, Program):
         trace = FunctionalExecutor(workload, max_instructions).run()
     else:
         trace = iter(workload)
-    processor = Processor(config, trace, golden=golden, injector=injector)
+    processor = Processor(config, trace, golden=golden, injector=injector,
+                          tracer=tracer, profiler=profiler)
     return processor.run(max_cycles=max_cycles)
 
 
 def run_trace(trace: Iterable[DynInst], config: ProcessorConfig,
               max_cycles: Optional[int] = None,
-              check: bool = False, fault_plan=None) -> SimResult:
+              check: bool = False, fault_plan=None,
+              tracer=None, metrics_interval: Optional[int] = None,
+              profile: bool = False) -> SimResult:
     """Alias of :func:`simulate` for explicit trace input."""
     return simulate(trace, config, max_cycles=max_cycles, check=check,
-                    fault_plan=fault_plan)
+                    fault_plan=fault_plan, tracer=tracer,
+                    metrics_interval=metrics_interval, profile=profile)

@@ -123,7 +123,8 @@ class SimResult:
     def __init__(self, stats: SimStats, config, cache_stats: dict,
                  vp_stats: Optional[dict] = None,
                  bp_stats: Optional[dict] = None,
-                 validation: Optional[dict] = None) -> None:
+                 validation: Optional[dict] = None,
+                 metrics=None, profile=None) -> None:
         self.stats = stats
         self.config = config
         self.cache_stats = cache_stats
@@ -132,6 +133,14 @@ class SimResult:
         #: Validation-layer outcome when the run used ``check=True`` or
         #: fault injection: golden-commit count, fault report, ...
         self.validation = validation or {}
+        #: Optional repro.obs.IntervalMetrics (None unless sampling was
+        #: enabled).  Deliberately NOT part of to_dict(): exports of the
+        #: run's metrics must be byte-identical whether or not the run
+        #: was observed.
+        self.metrics = metrics
+        #: Optional repro.obs.PhaseProfiler with host wall-clock
+        #: attribution; same exclusion from to_dict() applies.
+        self.profile = profile
 
     @property
     def ipc(self) -> float:

@@ -41,6 +41,9 @@ class Interconnect:
         #: Optional repro.validation.faults.FaultInjector; may reject
         #: reservations (transient drop) or stretch delivery latency.
         self.fault_injector = fault_injector
+        #: Optional repro.obs.EventTracer; granted reservations emit a
+        #: ``bus`` event (the transfer actually occupying a path).
+        self.tracer = None
         self._reservations: Dict[Tuple[int, int], int] = {}
         self.transfers = 0
         self.rejected = 0
@@ -62,6 +65,9 @@ class Interconnect:
             return False
         if self.paths_per_cluster is None:
             self.transfers += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.bus(depart_cycle, dest_cluster)
             return True
         key = (dest_cluster, depart_cycle)
         used = self._reservations.get(key, 0)
@@ -70,6 +76,9 @@ class Interconnect:
             return False
         self._reservations[key] = used + 1
         self.transfers += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.bus(depart_cycle, dest_cluster)
         return True
 
     def arrival_cycle(self, depart_cycle: int) -> int:

@@ -1,0 +1,40 @@
+"""Unified instrumentation: event tracing, interval metrics, profiling.
+
+Three coordinated observers, all zero-overhead when disabled (the core
+carries only ``is not None`` guards):
+
+* :class:`EventTracer` + sinks — typed per-cycle pipeline events
+  (fetch, steer, dispatch, issue, copy/vcopy, bus, complete, commit,
+  squash) into a ring buffer, JSONL, or Chrome-trace/Perfetto output.
+* :class:`IntervalMetrics` — counters/gauges/histograms sampled every
+  N cycles into a time series (IPC, occupancy, NREADY, comms/inst...).
+* :class:`PhaseProfiler` — host wall-clock attribution across the
+  simulator loop stages.
+
+See docs/OBSERVABILITY.md for the event taxonomy, file formats and
+measured overheads.
+"""
+
+from .events import (EV_BUS, EV_COMMIT, EV_COMPLETE, EV_COPY_SEND,
+                     EV_DISPATCH, EV_FETCH, EV_ISSUE, EV_SQUASH, EV_STEER,
+                     EV_VCOPY_VERIFY, EVENT_FIELDS, EVENT_NAMES, KIND_NAMES,
+                     event_to_dict)
+from .interval import Histogram, IntervalMetrics
+from .profiler import PHASES, PhaseProfiler
+from .schema import (TraceSchemaError, validate_chrome_trace,
+                     validate_jsonl_trace)
+from .sinks import (JSONL_SCHEMA, ChromeTraceSink, JsonlSink, ListSink,
+                    RingBufferSink, TeeSink)
+from .tracer import POSTMORTEM_WINDOW, EventTracer
+
+__all__ = [
+    "EV_FETCH", "EV_STEER", "EV_DISPATCH", "EV_ISSUE", "EV_COPY_SEND",
+    "EV_VCOPY_VERIFY", "EV_BUS", "EV_COMPLETE", "EV_COMMIT", "EV_SQUASH",
+    "EVENT_NAMES", "EVENT_FIELDS", "KIND_NAMES", "event_to_dict",
+    "Histogram", "IntervalMetrics",
+    "PHASES", "PhaseProfiler",
+    "TraceSchemaError", "validate_chrome_trace", "validate_jsonl_trace",
+    "JSONL_SCHEMA", "ChromeTraceSink", "JsonlSink", "ListSink",
+    "RingBufferSink", "TeeSink",
+    "POSTMORTEM_WINDOW", "EventTracer",
+]

@@ -1,0 +1,96 @@
+"""The pipeline event taxonomy (docs/OBSERVABILITY.md).
+
+Every observable micro-architectural happening is one *event*: a plain
+tuple ``(cycle, code, *args)`` whose argument layout is fixed per event
+code.  Tuples (rather than objects or dicts) keep the enabled-tracer
+emit path to a single allocation plus an append, which is what makes
+ring-buffer tracing cheap enough to leave on during long runs; the
+richer dict form is materialized only by sinks that serialize
+(:class:`~repro.obs.sinks.JsonlSink`,
+:class:`~repro.obs.sinks.ChromeTraceSink`) or by
+:func:`event_to_dict`.
+
+Event codes and their argument layouts:
+
+=============== ==================================================
+code            args (after ``cycle, code``)
+=============== ==================================================
+``fetch``       seq, pc
+``steer``       seq, cluster, reason
+``dispatch``    order, kind, seq, pc, cluster, op, fetch_cycle
+``issue``       order, kind, cluster, reissue
+``copy_send``   order, src_cluster, dest_cluster, arrival
+``vcopy_verify`` order, cluster, hit
+``bus``         dest_cluster, depart
+``complete``    order, kind, cluster
+``commit``      order, kind, seq, cluster
+``squash``      order, kind, cluster, generation
+=============== ==================================================
+
+``kind`` is the uop kind code (0 inst / 1 copy / 2 vcopy, see
+:mod:`repro.core.uop`); ``order`` is the global dispatch order that
+keys the per-uop lifecycle; ``reason`` is the steering scheme's
+decision class (see :attr:`repro.steering.base.Steerer.last_reason`).
+A ``steer`` event is emitted once per dispatched instruction — decode
+retries after structural stalls do not duplicate it.  ``fetch`` events
+carry the cycle the instruction entered the fetch buffer (they are
+emitted at decode, when the front-end annotation becomes visible, so a
+trace is not globally cycle-sorted).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["EV_FETCH", "EV_STEER", "EV_DISPATCH", "EV_ISSUE",
+           "EV_COPY_SEND", "EV_VCOPY_VERIFY", "EV_BUS", "EV_COMPLETE",
+           "EV_COMMIT", "EV_SQUASH", "EVENT_NAMES", "EVENT_FIELDS",
+           "KIND_NAMES", "event_to_dict"]
+
+EV_FETCH = 0
+EV_STEER = 1
+EV_DISPATCH = 2
+EV_ISSUE = 3
+EV_COPY_SEND = 4
+EV_VCOPY_VERIFY = 5
+EV_BUS = 6
+EV_COMPLETE = 7
+EV_COMMIT = 8
+EV_SQUASH = 9
+
+#: code -> human-readable event name (index == code).
+EVENT_NAMES: Tuple[str, ...] = (
+    "fetch", "steer", "dispatch", "issue", "copy_send", "vcopy_verify",
+    "bus", "complete", "commit", "squash")
+
+#: code -> argument names, in tuple order after ``(cycle, code, ...)``.
+EVENT_FIELDS: Tuple[Tuple[str, ...], ...] = (
+    ("seq", "pc"),
+    ("seq", "cluster", "reason"),
+    ("order", "kind", "seq", "pc", "cluster", "op", "fetch_cycle"),
+    ("order", "kind", "cluster", "reissue"),
+    ("order", "src_cluster", "dest_cluster", "arrival"),
+    ("order", "cluster", "hit"),
+    ("dest_cluster", "depart"),
+    ("order", "kind", "cluster"),
+    ("order", "kind", "seq", "cluster"),
+    ("order", "kind", "cluster", "generation"),
+)
+
+#: Uop kind code -> name (mirrors repro.core.uop's KIND_* constants).
+KIND_NAMES: Tuple[str, ...] = ("inst", "copy", "vcopy")
+
+
+def event_to_dict(event: tuple) -> dict:
+    """Expand one raw event tuple into its named-field dict form.
+
+    ``kind`` arguments are translated to their names so serialized
+    traces are self-describing.
+    """
+    cycle, code = event[0], event[1]
+    record = {"cycle": cycle, "event": EVENT_NAMES[code]}
+    for name, value in zip(EVENT_FIELDS[code], event[2:]):
+        if name == "kind":
+            value = KIND_NAMES[value]
+        record[name] = value
+    return record

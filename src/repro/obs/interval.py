@@ -1,0 +1,201 @@
+"""Interval metrics: a time-resolved view of one simulation.
+
+End-of-run :class:`~repro.core.stats.SimStats` says *what* the machine
+did; this registry says *when*.  Every ``interval`` cycles the
+processor calls :meth:`IntervalMetrics.sample`, which records
+
+* **counters** as deltas over the interval (committed instructions,
+  communications, issued uops, invalidations, value-predictor
+  activity, NREADY accumulation) — the deltas of any counter sum back
+  exactly to its final cumulative value, which the test suite asserts;
+* **gauges** as instantaneous values (ROB occupancy, per-cluster
+  issue-queue depth);
+* **histograms** over the sampled gauges (ROB occupancy and total IQ
+  depth distributions across samples).
+
+A final partial sample is taken when the run drains, so no tail cycles
+are lost.  Sampling only ever *reads* simulator state: the committed
+stream and statistics of a metered run are identical to an unmetered
+one.
+
+The sample rows are plain dicts; export them with
+:func:`repro.analysis.export.interval_rows` +
+``to_csv``/``to_json``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["Histogram", "IntervalMetrics", "standard_counters",
+           "standard_gauges"]
+
+
+class Histogram:
+    """Fixed-bucket histogram over sampled values.
+
+    Buckets are ``<= edge`` counts plus a final overflow bucket.
+    """
+
+    def __init__(self, edges: Tuple[int, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and sorted")
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+
+    def to_dict(self) -> dict:
+        labels = [f"<={edge}" for edge in self.edges] + \
+            [f">{self.edges[-1]}"]
+        return {"buckets": dict(zip(labels, self.counts)),
+                "total": self.total}
+
+
+def standard_counters() -> Dict[str, Callable]:
+    """name -> cumulative-value getter for the stock counter set."""
+    return {
+        "committed_insts": lambda p: p.stats.committed_insts,
+        "committed_copies": lambda p: p.stats.committed_copies,
+        "committed_vcopies": lambda p: p.stats.committed_vcopies,
+        "communications": lambda p: p.stats.communications,
+        "mismatch_forwards": lambda p: p.stats.mismatch_forwards,
+        "issued_uops": lambda p: p.stats.issued_uops,
+        "dispatched_insts": lambda p: p.stats.dispatched_insts,
+        "invalidations": lambda p: p.stats.invalidations,
+        "speculative_operands": lambda p: p.stats.speculative_operands,
+        "mispredicted_operands": lambda p: p.stats.mispredicted_operands,
+        "vp_lookups": lambda p: p.vp.stats.lookups,
+        "vp_confident": lambda p: p.vp.stats.confident,
+        "vp_confident_correct": lambda p: p.vp.stats.confident_correct,
+        "nready_total": lambda p: p.nready.total,
+    }
+
+
+def standard_gauges() -> Dict[str, Callable]:
+    """name -> instantaneous-value getter for the stock gauge set."""
+    return {
+        "rob_occupancy": lambda p: len(p.rob),
+        "iq_depth": lambda p: [c.occupancy for c in p.clusters],
+        "pending_store_addrs": lambda p: len(p._pending_store_addrs),
+    }
+
+
+class IntervalMetrics:
+    """Counter/gauge/histogram registry sampled every *interval* cycles.
+
+    Custom metrics can be registered before the run starts with
+    :meth:`add_counter` / :meth:`add_gauge`; the constructor installs
+    the standard processor set.
+    """
+
+    def __init__(self, interval: int, n_clusters: int = 0) -> None:
+        if interval < 1:
+            raise ValueError("metrics interval must be >= 1 cycle")
+        self.interval = interval
+        self.n_clusters = n_clusters
+        self.samples: List[dict] = []
+        self._counters: Dict[str, Callable] = standard_counters()
+        self._gauges: Dict[str, Callable] = standard_gauges()
+        self._previous: Dict[str, float] = {}
+        self._last_cycle = 0
+        self.histograms: Dict[str, Histogram] = {
+            "rob_occupancy": Histogram((8, 16, 32, 64, 96, 128)),
+            "iq_depth_total": Histogram((4, 8, 16, 32, 64, 128)),
+        }
+
+    # -- registry --------------------------------------------------------------
+
+    def add_counter(self, name: str, getter: Callable) -> None:
+        """Register a cumulative counter; samples record its delta."""
+        if self.samples:
+            raise ValueError("cannot register metrics mid-run")
+        self._counters[name] = getter
+
+    def add_gauge(self, name: str, getter: Callable) -> None:
+        """Register an instantaneous gauge."""
+        if self.samples:
+            raise ValueError("cannot register metrics mid-run")
+        self._gauges[name] = getter
+
+    @property
+    def counter_names(self) -> List[str]:
+        return list(self._counters)
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, processor, cycle: int) -> None:
+        """Record the interval ``[last_cycle, cycle)``.
+
+        Called by the processor at interval boundaries and once more at
+        the end of the run (the final, possibly partial, interval).
+        Empty intervals (``cycle == last_cycle``) are skipped.
+        """
+        span = cycle - self._last_cycle
+        if span <= 0:
+            return
+        row: dict = {"cycle_start": self._last_cycle, "cycle_end": cycle,
+                     "cycles": span}
+        for name, getter in self._counters.items():
+            value = getter(processor)
+            row[name] = value - self._previous.get(name, 0)
+            self._previous[name] = value
+        for name, getter in self._gauges.items():
+            row[name] = getter(processor)
+        row["ipc"] = row["committed_insts"] / span
+        committed = row["committed_insts"]
+        row["comm_per_inst"] = (row["communications"] / committed
+                                if committed else 0.0)
+        row["imbalance"] = row["nready_total"] / span
+        self.histograms["rob_occupancy"].add(row["rob_occupancy"])
+        self.histograms["iq_depth_total"].add(sum(row["iq_depth"]))
+        self.samples.append(row)
+        self._last_cycle = cycle
+
+    def finish(self, processor, cycle: int) -> None:
+        """Take the final partial sample when the run drains."""
+        self.sample(processor, cycle)
+
+    # -- export ----------------------------------------------------------------
+
+    def rows(self) -> List[dict]:
+        """Sample rows with list-valued gauges flattened per cluster."""
+        flat: List[dict] = []
+        for row in self.samples:
+            out = {}
+            for key, value in row.items():
+                if isinstance(value, list):
+                    for index, item in enumerate(value):
+                        out[f"{key}_c{index}"] = item
+                else:
+                    out[key] = value
+            flat.append(out)
+        return flat
+
+    def totals(self) -> Dict[str, float]:
+        """Per-counter sums over all samples (equals final cumulatives)."""
+        sums: Dict[str, float] = {name: 0 for name in self._counters}
+        for row in self.samples:
+            for name in sums:
+                sums[name] += row[name]
+        return sums
+
+    def summary(self) -> str:
+        """One line per sample: cycle span, IPC, comms/inst, occupancy."""
+        lines = [f"{'cycles':>15} {'ipc':>6} {'comm/i':>7} {'rob':>4} "
+                 f"iq-depth"]
+        for row in self.samples:
+            span = f"{row['cycle_start']}..{row['cycle_end']}"
+            lines.append(f"{span:>15} {row['ipc']:6.2f} "
+                         f"{row['comm_per_inst']:7.3f} "
+                         f"{row['rob_occupancy']:>4} "
+                         f"{row['iq_depth']}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Trace-file schema validation (used by ``make obs-check`` and tests).
+
+Two on-disk formats exist (see :mod:`repro.obs.sinks`); both
+validators parse the whole file, check structural invariants, and
+return the event count — raising :class:`TraceSchemaError` with a
+precise complaint otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Set
+
+from .events import EVENT_FIELDS, EVENT_NAMES
+from .sinks import JSONL_SCHEMA
+
+__all__ = ["TraceSchemaError", "validate_jsonl_trace",
+           "validate_chrome_trace"]
+
+_KNOWN_EVENTS: Set[str] = set(EVENT_NAMES)
+_REQUIRED_FIELDS = {name: set(fields)
+                    for name, fields in zip(EVENT_NAMES, EVENT_FIELDS)}
+
+
+class TraceSchemaError(ValueError):
+    """A trace file violates its declared schema."""
+
+
+def validate_jsonl_trace(path: str) -> int:
+    """Validate a JSONL trace; returns the number of event records."""
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {error}") from None
+            if lineno == 1:
+                if record.get("schema") != JSONL_SCHEMA:
+                    raise TraceSchemaError(
+                        f"{path}:1: missing/unknown schema header, "
+                        f"expected {JSONL_SCHEMA!r}, got {record!r}")
+                continue
+            name = record.get("event")
+            if name not in _KNOWN_EVENTS:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: unknown event {name!r}")
+            if not isinstance(record.get("cycle"), int):
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: event missing integer 'cycle'")
+            missing = _REQUIRED_FIELDS[name] - set(record)
+            if missing:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: {name} event missing fields "
+                    f"{sorted(missing)}")
+            count += 1
+    if count == 0:
+        raise TraceSchemaError(f"{path}: no event records")
+    return count
+
+
+def validate_chrome_trace(path: str) -> int:
+    """Validate a Chrome trace-event file; returns the event count.
+
+    Accepts the object form (``{"traceEvents": [...]}``) the sink
+    writes, or a bare event array — both load in Perfetto and
+    ``chrome://tracing``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            obj = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TraceSchemaError(f"{path}: not valid JSON: "
+                                   f"{error}") from None
+    if isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            raise TraceSchemaError(
+                f"{path}: object form must carry a 'traceEvents' list")
+    elif isinstance(obj, list):
+        events = obj
+    else:
+        raise TraceSchemaError(f"{path}: top level must be an object or "
+                               f"array, got {type(obj).__name__}")
+    if not events:
+        raise TraceSchemaError(f"{path}: empty trace")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceSchemaError(f"{path}: traceEvents[{index}] is not "
+                                   f"an object")
+        ph = event.get("ph")
+        if not isinstance(event.get("name"), str) or ph is None:
+            raise TraceSchemaError(
+                f"{path}: traceEvents[{index}] missing 'name'/'ph'")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        if not isinstance(event.get("ts"), (int, float)):
+            raise TraceSchemaError(
+                f"{path}: traceEvents[{index}] ({event['name']!r}) "
+                f"missing numeric 'ts'")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise TraceSchemaError(
+                f"{path}: traceEvents[{index}] duration slice missing "
+                f"'dur'")
+    return len(events)

@@ -1,0 +1,233 @@
+"""Event sinks: where a tracer's event stream goes.
+
+Four shapes, trading memory, fidelity and cost:
+
+* :class:`ListSink` — unbounded in-memory list; full fidelity, used by
+  the timeline view and by tests.
+* :class:`RingBufferSink` — bounded deque keeping the trailing window;
+  the cheapest enabled mode (one append per event, old events
+  overwritten), suited for always-on post-mortem capture.
+* :class:`JsonlSink` — one JSON object per line, streamed to a file;
+  line 1 is a schema header.  Full fidelity on disk; the most
+  expensive mode (a dict plus a serialization per event).
+* :class:`ChromeTraceSink` — Chrome trace-event / Perfetto JSON.  Uop
+  lifecycles (dispatch -> commit) become duration slices on one track
+  per cluster; everything else becomes instant events.  Load the
+  written file in https://ui.perfetto.dev or ``chrome://tracing``.
+
+:class:`TeeSink` fans one stream out to several sinks.  All sinks
+accept raw event tuples (see :mod:`repro.obs.events`) via ``append``
+and must be ``close()``d to flush file-backed output (they are also
+context managers).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List, Optional
+
+from .events import (EV_COMMIT, EV_DISPATCH, EVENT_NAMES, KIND_NAMES,
+                     event_to_dict)
+
+__all__ = ["ListSink", "RingBufferSink", "JsonlSink", "ChromeTraceSink",
+           "TeeSink", "JSONL_SCHEMA"]
+
+#: Schema tag written as the first line of every JSONL trace.
+JSONL_SCHEMA = "repro-trace-v1"
+
+
+class _BaseSink:
+    """Common context-manager plumbing."""
+
+    def append(self, event: tuple) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListSink(_BaseSink):
+    """Keep every event in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+        self.append = self.events.append  # hot path: direct bound method
+
+    def tail(self, k: int) -> List[tuple]:
+        """The trailing *k* events."""
+        return self.events[-k:] if k else []
+
+    def to_dicts(self) -> List[dict]:
+        return [event_to_dict(event) for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RingBufferSink(_BaseSink):
+    """Keep only the trailing *capacity* events (bounded memory)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.append = self.events.append
+        #: Total events ever appended (survives overwrites).
+        # deque drops silently, so completeness is tracked by the
+        # tracer's own per-type counters, not here.
+
+    def tail(self, k: int) -> List[tuple]:
+        """The trailing *k* retained events."""
+        if k <= 0:
+            return []
+        events = self.events
+        if k >= len(events):
+            return list(events)
+        return list(events)[-k:]
+
+    def to_dicts(self) -> List[dict]:
+        return [event_to_dict(event) for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(_BaseSink):
+    """Stream events to *path* as JSON Lines.
+
+    The first line is a header record ``{"schema": "repro-trace-v1",
+    "config": ...}``; every following line is one event dict.  Writes
+    are buffered in blocks of *flush_every* events.
+    """
+
+    def __init__(self, path: str, config_label: str = "",
+                 flush_every: int = 1024) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self._buffer: List[str] = []
+        self._flush_every = max(1, flush_every)
+        self.written = 0
+        header = {"schema": JSONL_SCHEMA, "config": config_label}
+        self._handle.write(json.dumps(header) + "\n")
+
+    def append(self, event: tuple) -> None:
+        self._buffer.append(json.dumps(event_to_dict(event)))
+        if len(self._buffer) >= self._flush_every:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self.written += len(self._buffer)
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._drain()
+            self._handle.close()
+            self._handle = None
+
+
+class ChromeTraceSink(_BaseSink):
+    """Accumulate a Chrome trace-event JSON file (Perfetto-loadable).
+
+    Mapping:
+
+    * every committed uop becomes a complete ("X") slice named after
+      its opcode (copies: ``[copy]`` / ``[vcopy]``), from dispatch to
+      commit, on the track (``tid``) of its execution cluster;
+    * every event — including each ``commit`` — additionally becomes an
+      instant ("i") event, so counting ``{"name": "commit"}`` instants
+      recovers the exact retirement count;
+    * cluster tracks get ``thread_name`` metadata; front-end events
+      (fetch/steer) live on the synthetic track
+      :data:`FRONTEND_TID`.
+
+    Timestamps are simulation cycles interpreted as microseconds.
+    """
+
+    FRONTEND_TID = 99
+
+    def __init__(self, path: Optional[str] = None,
+                 config_label: str = "") -> None:
+        self.path = path
+        self.config_label = config_label
+        self.trace_events: List[dict] = []
+        self._open_slices: Dict[int, tuple] = {}  # order -> (ts, name, tid)
+        self._closed = False
+
+    def append(self, event: tuple) -> None:
+        cycle, code = event[0], event[1]
+        args = event[2:]
+        record = event_to_dict(event)
+        name = EVENT_NAMES[code]
+        tid = record.get("cluster", record.get("dest_cluster",
+                                               self.FRONTEND_TID))
+        if tid is None:
+            tid = self.FRONTEND_TID
+        self.trace_events.append({
+            "name": name, "ph": "i", "ts": cycle, "pid": 0, "tid": tid,
+            "s": "t", "args": record})
+        if code == EV_DISPATCH:
+            order, kind = args[0], args[1]
+            label = args[5] if kind == 0 else f"[{KIND_NAMES[kind]}]"
+            self._open_slices[order] = (cycle, label, args[4])
+        elif code == EV_COMMIT:
+            order = args[0]
+            opened = self._open_slices.pop(order, None)
+            if opened is not None:
+                start, label, tid = opened
+                self.trace_events.append({
+                    "name": label, "ph": "X", "ts": start,
+                    "dur": max(1, cycle - start), "pid": 0, "tid": tid,
+                    "args": {"order": order, "commit_cycle": cycle}})
+
+    def to_object(self) -> dict:
+        """The complete trace as a JSON-serializable object."""
+        tids = sorted({ev["tid"] for ev in self.trace_events})
+        metadata = [{"name": "process_name", "ph": "M", "pid": 0,
+                     "args": {"name": f"repro-sim {self.config_label}"
+                              .strip()}}]
+        for tid in tids:
+            label = ("frontend" if tid == self.FRONTEND_TID
+                     else f"cluster {tid}")
+            metadata.append({"name": "thread_name", "ph": "M", "pid": 0,
+                             "tid": tid, "args": {"name": label}})
+        return {"traceEvents": metadata + self.trace_events,
+                "displayTimeUnit": "ms",
+                "otherData": {"schema": "repro-chrome-trace-v1",
+                              "config": self.config_label}}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_object(), handle)
+                handle.write("\n")
+
+
+class TeeSink(_BaseSink):
+    """Replicate every event into each of *sinks*."""
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = sinks
+        appends = [sink.append for sink in sinks]
+
+        def _append(event, _appends=tuple(appends)):
+            for append in _appends:
+                append(event)
+        self.append = _append
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

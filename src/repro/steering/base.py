@@ -67,6 +67,15 @@ class Steerer:
     #: Human-readable scheme name (used in reports and benchmarks).
     name = "abstract"
 
+    #: Decision class of the most recent :meth:`choose` call — why the
+    #: cluster was picked ("balance", "pending", "mapped", "mod2-all",
+    #: "unconstrained", "static", ...).  Read by the event tracer when
+    #: the instruction actually dispatches; because decode retries call
+    #: ``choose`` again before dispatching, the attribute always
+    #: reflects the decision that took effect.  Purely observational:
+    #: no steering logic may read it.
+    last_reason = "unknown"
+
     def __init__(self, n_clusters: int) -> None:
         self.n_clusters = n_clusters
 

@@ -30,7 +30,7 @@ Thresholds come from the paper: Baseline rule 1 uses DCOUNT=32 / 16 for
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .base import SourceView, Steerer
 from .metrics import DCountTracker
@@ -78,21 +78,31 @@ class RMBSSteerer(Steerer):
     def choose(self, sources: Sequence[SourceView],
                dcount: DCountTracker, pc: Optional[int] = None) -> int:
         if self.n_clusters == 1:
+            self.last_reason = "single"
             return 0
         imbalance = dcount.imbalance()
         # Rule 1: correct a gross imbalance unconditionally.
         if imbalance > self.balance_threshold:
+            self.last_reason = "balance"
             return dcount.least_loaded()
         mod2 = (self.mod2_threshold is not None
                 and imbalance > self.mod2_threshold)
-        candidates = self._communication_candidates(sources, mod2)
+        candidates, self.last_reason = \
+            self._communication_candidates(sources, mod2)
         # Rule 3: least loaded among the candidates.
         return dcount.least_loaded_among(candidates)
 
     # -- rule 2 -----------------------------------------------------------------
 
     def _communication_candidates(self, sources: Sequence[SourceView],
-                                  mod2: bool) -> List[int]:
+                                  mod2: bool) -> Tuple[List[int], str]:
+        """Rule-2 candidate set plus the decision class that produced it.
+
+        Reasons: "pending" (rule 2.1), "mapped" (rule 2.2),
+        "unconstrained" (operands with no useful mapping),
+        "mod2-all" (§3.2/§3.3's relaxation released every operand),
+        "no-sources" (rule 2.3).
+        """
         pending_votes: Counter = Counter()
         mapped_votes: Counter = Counter()
         relevant = 0
@@ -113,16 +123,17 @@ class RMBSSteerer(Steerer):
                 for cluster in src.mapped:
                     mapped_votes[cluster] += 1
         if pending_votes:
-            return self._argmax(pending_votes)
+            return self._argmax(pending_votes), "pending"
         if relevant and mapped_votes:
-            return self._argmax(mapped_votes)
+            return self._argmax(mapped_votes), "mapped"
         if relevant and not mapped_votes and not mod2_applies:
             # Operands exist but none is mapped anywhere useful (only
             # possible for always-available zero-register operands,
             # which carry no mapping): no constraint.
-            return list(self.all_clusters())
+            return list(self.all_clusters()), "unconstrained"
         # Rule 2.3 (no sources), or every operand released by mod 2.
-        return list(self.all_clusters())
+        return list(self.all_clusters()), (
+            "mod2-all" if mod2_applies else "no-sources")
 
     @staticmethod
     def _argmax(votes: Counter) -> List[int]:

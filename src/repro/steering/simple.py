@@ -26,6 +26,7 @@ class RoundRobinSteerer(Steerer):
     """
 
     name = "round-robin"
+    last_reason = "round-robin"
 
     def __init__(self, n_clusters: int) -> None:
         super().__init__(n_clusters)
@@ -43,6 +44,7 @@ class BalanceOnlySteerer(Steerer):
     """Always pick the least-loaded cluster (maximal balance pressure)."""
 
     name = "balance-only"
+    last_reason = "balance"
 
     def choose(self, sources: Sequence[SourceView],
                dcount: DCountTracker, pc=None) -> int:
@@ -70,8 +72,10 @@ class DependenceOnlySteerer(Steerer):
             else:
                 for cluster in src.mapped:
                     mapped[cluster] += 1
-        for votes in (pending, mapped):
+        for votes, reason in ((pending, "pending"), (mapped, "mapped")):
             if votes:
                 best = max(votes.values())
+                self.last_reason = reason
                 return min(c for c, v in votes.items() if v == best)
+        self.last_reason = "fallback"
         return 0

@@ -95,5 +95,7 @@ class StaticSteerer(Steerer):
         if cluster is None:
             # Unprofiled code: the hardware has no information, fall
             # back to the least-loaded cluster.
+            self.last_reason = "fallback"
             return dcount.least_loaded()
+        self.last_reason = "static"
         return cluster % self.n_clusters

@@ -67,6 +67,14 @@ class PipelineSnapshot:
     pending_store_addrs: int = 0
     stores_awaiting_data: int = 0
     decode_stalls: Dict[str, int] = field(default_factory=dict)
+    #: Program instructions dispatched to each cluster up to the hang.
+    dispatched_per_cluster: List[int] = field(default_factory=list)
+    #: Uops issued from each cluster up to the hang.
+    issued_per_cluster: List[int] = field(default_factory=list)
+    #: Trailing pipeline events (dict form, oldest first) when an event
+    #: tracer was installed; empty without one.  This is the post-mortem
+    #: flight recorder: the last things the machine did before wedging.
+    recent_events: List[dict] = field(default_factory=list)
 
     def render(self) -> str:
         """Multi-line human-readable dump (embedded in DeadlockError)."""
@@ -89,6 +97,17 @@ class PipelineSnapshot:
                      f"stores awaiting data: {self.stores_awaiting_data}")
         if self.decode_stalls:
             lines.append(f"  decode stalls: {self.decode_stalls}")
+        if self.dispatched_per_cluster:
+            lines.append(f"  dispatched/cluster: "
+                         f"{self.dispatched_per_cluster}, "
+                         f"issued/cluster: {self.issued_per_cluster}")
+        if self.recent_events:
+            lines.append(f"  last {len(self.recent_events)} events:")
+            for event in self.recent_events:
+                parts = [f"{key}={value}" for key, value in event.items()
+                         if key not in ("cycle", "event")]
+                lines.append(f"    c{event['cycle']:<8} "
+                             f"{event['event']:<13} {' '.join(parts)}")
         return "\n".join(lines)
 
 

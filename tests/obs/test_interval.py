@@ -1,0 +1,120 @@
+"""Interval metrics: deltas must sum back to the final cumulatives."""
+
+import pytest
+
+from repro.analysis import interval_rows, to_csv
+from repro.core import make_config, simulate
+from repro.obs.interval import Histogram, IntervalMetrics
+from repro.workloads import workload_trace
+
+
+def _metered(workload="cjpeg", length=2_000, clusters=4, interval=200,
+             **kwargs):
+    trace = list(workload_trace(workload, length))
+    config = make_config(clusters, predictor="stride", steering="vpb",
+                         **kwargs)
+    return simulate(trace, config, metrics_interval=interval)
+
+
+class TestSampling:
+    def test_counter_deltas_sum_to_final_values(self):
+        result = _metered()
+        totals = result.metrics.totals()
+        stats = result.stats
+        assert totals["committed_insts"] == stats.committed_insts
+        assert totals["committed_copies"] == stats.committed_copies
+        assert totals["committed_vcopies"] == stats.committed_vcopies
+        assert totals["communications"] == stats.communications
+        assert totals["issued_uops"] == stats.issued_uops
+        assert totals["dispatched_insts"] == stats.dispatched_insts
+        assert totals["invalidations"] == stats.invalidations
+        assert totals["mismatch_forwards"] == stats.mismatch_forwards
+
+    def test_intervals_tile_the_run_without_gaps(self):
+        result = _metered(interval=300)
+        samples = result.metrics.samples
+        assert samples[0]["cycle_start"] == 0
+        for previous, current in zip(samples, samples[1:]):
+            assert current["cycle_start"] == previous["cycle_end"]
+        # The final (possibly partial) sample reaches the last cycle.
+        assert samples[-1]["cycle_end"] == result.stats.cycles
+
+    def test_weighted_interval_ipc_recovers_global_ipc(self):
+        result = _metered(interval=250)
+        samples = result.metrics.samples
+        insts = sum(row["ipc"] * row["cycles"] for row in samples)
+        assert insts == pytest.approx(result.stats.committed_insts)
+
+    def test_per_cluster_gauges_have_cluster_arity(self):
+        result = _metered(clusters=4)
+        for row in result.metrics.samples:
+            assert len(row["iq_depth"]) == 4
+
+    def test_histograms_count_every_sample(self):
+        metrics = _metered().metrics
+        n = len(metrics.samples)
+        assert metrics.histograms["rob_occupancy"].total == n
+        assert metrics.histograms["iq_depth_total"].total == n
+
+
+class TestRegistry:
+    def test_custom_counter_and_gauge(self):
+        metrics = IntervalMetrics(100, 2)
+        metrics.add_counter("cycles_total", lambda p: p.stats.cycles)
+        metrics.add_gauge("rob_free", lambda p: 64 - len(p.rob))
+        assert "cycles_total" in metrics.counter_names
+
+    def test_registration_refused_mid_run(self):
+        result = _metered()
+        with pytest.raises(ValueError):
+            result.metrics.add_counter("late", lambda p: 0)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntervalMetrics(0)
+
+    def test_config_rejects_bad_interval(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            make_config(2, metrics_interval=0).validate()
+
+
+class TestExport:
+    def test_rows_flatten_list_gauges(self):
+        result = _metered(clusters=4)
+        rows = interval_rows(result.metrics)
+        assert rows
+        first = rows[0]
+        assert "iq_depth_c0" in first and "iq_depth_c3" in first
+        assert "iq_depth" not in first
+        assert not any(isinstance(v, list) for v in first.values())
+
+    def test_rows_export_to_csv(self, tmp_path):
+        result = _metered()
+        path = tmp_path / "metrics.csv"
+        to_csv(interval_rows(result.metrics), str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(result.metrics.samples) + 1
+        assert "committed_insts" in lines[0]
+
+    def test_summary_is_one_line_per_sample(self):
+        metrics = _metered().metrics
+        assert len(metrics.summary().splitlines()) == \
+            len(metrics.samples) + 1
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram((2, 4))
+        for value in (0, 2, 3, 4, 5, 100):
+            hist.add(value)
+        assert hist.counts == [2, 2, 2]
+        assert hist.total == 6
+        buckets = hist.to_dict()["buckets"]
+        assert buckets == {"<=2": 2, "<=4": 2, ">4": 2}
+
+    def test_edges_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram((4, 2))
+        with pytest.raises(ValueError):
+            Histogram(())

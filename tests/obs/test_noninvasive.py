@@ -1,0 +1,106 @@
+"""The observability contract: observers never change the simulation.
+
+Every tracer/metrics/profiler combination must leave the committed
+instruction stream and every ``SimStats`` field bit-identical to an
+unobserved run.  The configs below span clusters x predictor x
+steering (>= 8 cells) and include golden co-simulation (``check=True``)
+so the committed stream itself — not just its length — is verified.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.obs import EventTracer, ListSink, RingBufferSink
+from repro.obs.events import EV_COMMIT
+from repro.workloads import workload_trace
+
+CONFIGS = [
+    ("rawcaudio", 1, "none", "baseline"),
+    ("rawcaudio", 2, "stride", "baseline"),
+    ("cjpeg", 2, "context", "modified"),
+    ("cjpeg", 4, "stride", "vpb"),
+    ("gsmdec", 4, "hybrid", "vpb"),
+    ("gsmdec", 1, "stride", "round-robin"),
+    ("epicdec", 4, "none", "balance-only"),
+    ("epicdec", 2, "hybrid", "dependence-only"),
+    ("mpeg2enc", 4, "context", "modified"),
+]
+
+LENGTH = 1_500
+
+
+def _stats_dict(result):
+    return dataclasses.asdict(result.stats)
+
+
+def _run(workload, clusters, predictor, steering, **kwargs):
+    trace = list(workload_trace(workload, LENGTH))
+    config = make_config(clusters, predictor=predictor, steering=steering)
+    return simulate(trace, config, **kwargs)
+
+
+@pytest.mark.parametrize("workload,clusters,predictor,steering", CONFIGS)
+def test_traced_run_is_bit_identical(workload, clusters, predictor,
+                                     steering):
+    base = _run(workload, clusters, predictor, steering)
+    sink = ListSink()
+    traced = _run(workload, clusters, predictor, steering,
+                  tracer=EventTracer(sink))
+    assert _stats_dict(base) == _stats_dict(traced)
+    assert base.to_dict() == traced.to_dict()
+    assert len(sink.events) > 0
+
+
+@pytest.mark.parametrize("workload,clusters,predictor,steering", CONFIGS)
+def test_traced_run_passes_golden_cosim(workload, clusters, predictor,
+                                        steering):
+    """check=True verifies the committed stream instruction by
+    instruction, so a tracer-induced stream change cannot hide."""
+    base = _run(workload, clusters, predictor, steering, check=True)
+    traced = _run(workload, clusters, predictor, steering, check=True,
+                  tracer=EventTracer(RingBufferSink()))
+    assert traced.validation["golden_commits"] == \
+        base.validation["golden_commits"]
+    assert _stats_dict(base) == _stats_dict(traced)
+
+
+def test_commit_events_enumerate_the_committed_stream():
+    """The traced commit events ARE the committed stream: one event per
+    retired uop, program instructions in sequence order."""
+    sink = ListSink()
+    tracer = EventTracer(sink)
+    result = _run("cjpeg", 4, "stride", "vpb", tracer=tracer)
+    stats = result.stats
+    commits = [e for e in sink.events if e[1] == EV_COMMIT]
+    assert len(commits) == (stats.committed_insts + stats.committed_copies
+                            + stats.committed_vcopies)
+    assert tracer.counts[EV_COMMIT] == len(commits)
+    # Program instructions retire in program order: their seq fields
+    # are exactly 0..N-1.
+    inst_seqs = [e[4] for e in commits if e[3] == 0]
+    assert inst_seqs == list(range(stats.committed_insts))
+
+
+def test_metrics_and_profiler_are_noninvasive():
+    base = _run("gsmdec", 4, "stride", "vpb")
+    metered = _run("gsmdec", 4, "stride", "vpb", metrics_interval=250)
+    profiled = _run("gsmdec", 4, "stride", "vpb", profile=True)
+    everything = _run("gsmdec", 4, "stride", "vpb",
+                      tracer=EventTracer(ListSink()),
+                      metrics_interval=250, profile=True)
+    for observed in (metered, profiled, everything):
+        assert _stats_dict(base) == _stats_dict(observed)
+    assert base.metrics is None and base.profile is None
+    assert metered.metrics is not None
+    assert profiled.profile is not None
+
+
+def test_observers_excluded_from_exported_dict():
+    """to_dict() must not change shape because a run was observed."""
+    base = _run("rawcaudio", 2, "stride", "baseline")
+    observed = _run("rawcaudio", 2, "stride", "baseline",
+                    tracer=EventTracer(ListSink()), metrics_interval=100,
+                    profile=True)
+    assert base.to_dict() == observed.to_dict()

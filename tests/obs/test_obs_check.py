@@ -1,0 +1,24 @@
+"""Run the ``make obs-check`` gate from the tier-1 suite.
+
+A regression in non-invasiveness, event completeness, trace schemas,
+or tracing overhead fails this test as well as the standalone target.
+"""
+
+import pathlib
+import sys
+
+BENCH = pathlib.Path(__file__).resolve().parent.parent.parent \
+    / "benchmarks"
+sys.path.insert(0, str(BENCH))
+
+from obs_check import run_checks  # noqa: E402
+
+
+def test_observability_gate_passes():
+    # The functional checks run at full strength; the wall-clock
+    # overhead budget is relaxed here because the suite shares the host
+    # with other tests — `make obs-check` enforces the strict 10%.
+    checks = run_checks(length=2_000, repeats=3, overhead_budget=0.5)
+    failures = [(name, detail) for name, ok, detail in checks if not ok]
+    assert not failures, failures
+    assert len(checks) == 5

@@ -1,0 +1,72 @@
+"""Phase profiler: attributed time must account for the wall clock."""
+
+import time
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.workloads import workload_trace
+
+
+def _profiled_run(length=2_000):
+    trace = list(workload_trace("cjpeg", length))
+    config = make_config(4, predictor="stride", steering="vpb")
+    start = time.perf_counter()
+    result = simulate(trace, config, profile=True)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+class TestAttribution:
+    def test_phase_totals_approximate_wall_time(self):
+        result, wall = _profiled_run()
+        profile = result.profile
+        attributed = profile.attributed_seconds
+        # Attributed time can only miss the loop condition and the
+        # bracket reads themselves: it must lie within the loop total,
+        # and the loop total within the whole simulate() call.
+        assert 0 < attributed <= profile.total_seconds <= wall
+        # ...and the unattributed slice is a small fraction, not a
+        # mis-bracketed stage (generous bound for noisy CI hosts).
+        assert attributed >= 0.5 * profile.total_seconds
+
+    def test_every_phase_is_populated(self):
+        result, _ = _profiled_run()
+        seconds = result.profile.seconds
+        assert set(seconds) == set(PHASES)
+        # Every pipeline stage runs every cycle; all must accrue time.
+        for phase in ("events", "commit", "issue", "decode", "fetch"):
+            assert seconds[phase] > 0, phase
+
+    def test_cycle_count_matches_simulated_cycles(self):
+        result, _ = _profiled_run()
+        assert result.profile.cycles == result.stats.cycles
+
+    def test_shares_sum_to_one(self):
+        result, _ = _profiled_run()
+        shares = result.profile.to_dict()["shares"]
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+
+
+class TestReporting:
+    def test_to_dict_shape(self):
+        result, _ = _profiled_run(length=500)
+        profile = result.profile.to_dict()
+        assert set(profile) == {"phases", "shares", "attributed_seconds",
+                                "total_seconds", "cycles",
+                                "cycles_per_second"}
+        assert profile["cycles_per_second"] > 0
+
+    def test_report_lists_every_phase(self):
+        result, _ = _profiled_run(length=500)
+        text = result.profile.report()
+        for phase in PHASES:
+            assert phase in text
+        assert "total" in text
+
+    def test_empty_profiler_reports_zero(self):
+        profile = PhaseProfiler()
+        assert profile.attributed_seconds == 0.0
+        assert profile.to_dict()["cycles_per_second"] == 0.0
+        assert "total" in profile.report()

@@ -1,0 +1,171 @@
+"""Sink and schema tests: every on-disk format validates and round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import make_config, simulate
+from repro.obs import (ChromeTraceSink, EventTracer, JsonlSink, ListSink,
+                       RingBufferSink, TeeSink)
+from repro.obs.events import (EV_COMMIT, EVENT_FIELDS, EVENT_NAMES,
+                              event_to_dict)
+from repro.obs.schema import (TraceSchemaError, validate_chrome_trace,
+                              validate_jsonl_trace)
+from repro.workloads import workload_trace
+
+
+def _traced_run(sink, workload="cjpeg", length=1_200):
+    trace = list(workload_trace(workload, length))
+    config = make_config(4, predictor="stride", steering="vpb")
+    tracer = EventTracer(sink)
+    result = simulate(trace, config, tracer=tracer)
+    sink.close()
+    return result, tracer
+
+
+class TestEventModel:
+    def test_names_and_fields_align(self):
+        assert len(EVENT_NAMES) == len(EVENT_FIELDS) == 10
+
+    def test_event_to_dict_names_fields(self):
+        record = event_to_dict((7, EV_COMMIT, 3, 0, 12, 1))
+        assert record == {"cycle": 7, "event": "commit", "order": 3,
+                          "kind": "inst", "seq": 12, "cluster": 1}
+
+
+class TestRingBuffer:
+    def test_bounded_capacity(self):
+        sink = RingBufferSink(capacity=64)
+        _traced_run(sink)
+        assert len(sink) == 64
+
+    def test_counts_survive_overwrites(self):
+        sink = RingBufferSink(capacity=16)
+        result, tracer = _traced_run(sink)
+        stats = result.stats
+        assert tracer.counts[EV_COMMIT] == (
+            stats.committed_insts + stats.committed_copies
+            + stats.committed_vcopies)
+        assert tracer.total_events > 16
+
+    def test_tail_returns_most_recent(self):
+        sink = RingBufferSink(capacity=8)
+        for cycle in range(20):
+            sink.append((cycle, EV_COMMIT, cycle, 0, cycle, 0))
+        tail = sink.tail(3)
+        assert [event[0] for event in tail] == [17, 18, 19]
+        assert sink.tail(0) == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonl:
+    def test_written_file_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path), "test-config")
+        _, tracer = _traced_run(sink)
+        count = validate_jsonl_trace(str(path))
+        assert count == tracer.total_events
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == "repro-trace-v1"
+        assert header["config"] == "test-config"
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "wrong"}\n')
+        with pytest.raises(TraceSchemaError):
+            validate_jsonl_trace(str(path))
+
+    def test_rejects_unknown_event(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "repro-trace-v1"}\n'
+                        '{"cycle": 1, "event": "teleport"}\n')
+        with pytest.raises(TraceSchemaError, match="unknown event"):
+            validate_jsonl_trace(str(path))
+
+    def test_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "repro-trace-v1"}\n'
+                        '{"cycle": 1, "event": "commit"}\n')
+        with pytest.raises(TraceSchemaError, match="missing fields"):
+            validate_jsonl_trace(str(path))
+
+
+class TestChromeTrace:
+    def test_written_file_validates(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), "test-config")
+        _traced_run(sink)
+        assert validate_chrome_trace(str(path)) > 0
+
+    def test_commit_instants_equal_committed_uops(self, tmp_path):
+        """The acceptance invariant: counting commit instants in the
+        Perfetto file recovers the exact retirement count."""
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), "")
+        result, _ = _traced_run(sink)
+        obj = json.loads(path.read_text())
+        commits = sum(1 for event in obj["traceEvents"]
+                      if event.get("name") == "commit"
+                      and event.get("ph") == "i")
+        stats = result.stats
+        assert commits == (stats.committed_insts + stats.committed_copies
+                           + stats.committed_vcopies)
+
+    def test_slices_cover_committed_lifecycles(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), "")
+        result, _ = _traced_run(sink)
+        obj = json.loads(path.read_text())
+        slices = [e for e in obj["traceEvents"] if e.get("ph") == "X"]
+        stats = result.stats
+        assert len(slices) == (stats.committed_insts
+                               + stats.committed_copies
+                               + stats.committed_vcopies)
+        assert all(event["dur"] >= 1 for event in slices)
+
+    def test_cluster_tracks_are_named(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), "")
+        _traced_run(sink)
+        obj = json.loads(path.read_text())
+        names = {event["args"]["name"]
+                 for event in obj["traceEvents"]
+                 if event.get("ph") == "M"
+                 and event.get("name") == "thread_name"}
+        assert {"cluster 0", "cluster 3", "frontend"} <= names
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nope": 1}')
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(str(path))
+        path.write_text("[]")
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_chrome_trace(str(path))
+
+
+class TestTee:
+    def test_tee_replicates_into_all_sinks(self):
+        list_sink = ListSink()
+        ring = RingBufferSink(capacity=32)
+        _, tracer = _traced_run(TeeSink(list_sink, ring))
+        assert len(list_sink) == tracer.total_events
+        assert list(ring.events) == list_sink.events[-32:]
+
+
+class TestPostmortemWindow:
+    def test_streaming_sink_still_serves_recent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"), "")
+        _, tracer = _traced_run(sink)
+        recent = tracer.recent(10)
+        assert len(recent) == 10
+        assert all("event" in record for record in recent)
+
+    def test_in_memory_sink_serves_recent_directly(self):
+        sink = ListSink()
+        _, tracer = _traced_run(sink)
+        assert tracer.recent(5) == [event_to_dict(event)
+                                    for event in sink.events[-5:]]

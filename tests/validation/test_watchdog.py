@@ -36,7 +36,8 @@ def fail_after(seconds: int):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _wedged_processor(deadlock_cycles: int = 64) -> Processor:
+def _wedged_processor(deadlock_cycles: int = 64,
+                      tracer=None) -> Processor:
     """A processor whose writebacks never become visible.
 
     Every ``set_ready`` call after construction is redirected to the
@@ -48,7 +49,7 @@ def _wedged_processor(deadlock_cycles: int = 64) -> Processor:
                        srcs=(1, 1), src_values=(7, 7), result=14)
               for i in range(1, 9)]
     processor = Processor(make_config(1, deadlock_cycles=deadlock_cycles),
-                          iter(trace))
+                          iter(trace), tracer=tracer)
     regfile = processor.clusters[0].regfile
     original = regfile.set_ready
     regfile.set_ready = lambda preg, cycle: original(preg, NEVER)
@@ -87,6 +88,50 @@ class TestEngineeredDeadlock:
         with fail_after(10):
             with pytest.raises(SimulationError):
                 processor.run()
+
+
+class TestPostMortemFlightRecorder:
+    """docs/ROBUSTNESS.md: with a tracer installed, the deadlock
+    snapshot carries the trailing event window and per-cluster
+    dispatch/issue totals at the moment of the hang."""
+
+    def _deadlock_snapshot(self, tracer=None):
+        processor = _wedged_processor(tracer=tracer)
+        with fail_after(10):
+            with pytest.raises(DeadlockError) as exc_info:
+                processor.run()
+        return exc_info.value.snapshot
+
+    def test_snapshot_carries_trailing_events(self):
+        from repro.obs import EventTracer, RingBufferSink
+        snapshot = self._deadlock_snapshot(
+            tracer=EventTracer(RingBufferSink()))
+        assert snapshot.recent_events
+        assert all("cycle" in event and "event" in event
+                   for event in snapshot.recent_events)
+        # The wedge dispatches everything but only the independent
+        # first instruction ever retires: the window must show the
+        # dispatches and no commit after that lone retirement.
+        names = [event["event"] for event in snapshot.recent_events]
+        assert "dispatch" in names
+        assert names.count("commit") <= 1
+
+    def test_snapshot_carries_per_cluster_occupancy(self):
+        snapshot = self._deadlock_snapshot()
+        assert snapshot.dispatched_per_cluster == [9]
+        assert len(snapshot.issued_per_cluster) == 1
+
+    def test_untraced_snapshot_has_empty_window(self):
+        snapshot = self._deadlock_snapshot()
+        assert snapshot.recent_events == []
+
+    def test_render_includes_the_event_window(self):
+        from repro.obs import EventTracer, RingBufferSink
+        snapshot = self._deadlock_snapshot(
+            tracer=EventTracer(RingBufferSink()))
+        text = snapshot.render()
+        assert "last" in text and "events" in text
+        assert "dispatched/cluster" in text
 
 
 class TestWatchdogUnit:

@@ -6,8 +6,16 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test benchmarks bench-wallclock campaign check clean-results \
-	obs-check trace-demo
+# Opt-in content-addressed sweep result cache (docs/PERFORMANCE.md):
+# `make benchmarks CACHE_DIR=.repro_cache` memoizes every cell on disk,
+# so re-running figures after a doc or analysis change is nearly free.
+CACHE_DIR ?=
+ifneq ($(CACHE_DIR),)
+export REPRO_CACHE := $(CACHE_DIR)
+endif
+
+.PHONY: test benchmarks bench-wallclock bench-smoke cache-stats \
+	cache-clear campaign check clean-results obs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -18,6 +26,19 @@ benchmarks:
 # Serial-vs-parallel sweep wall-clock; appends to BENCH_sweep.json.
 bench-wallclock:
 	$(PYTHON) benchmarks/bench_wallclock.py
+
+# Sub-minute sweep gate (docs/PERFORMANCE.md): chunked warm-pool
+# parallel must beat serial on multi-core hosts, and a cold -> warm
+# cache cycle must rerun with zero simulations — all metric-identical.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py
+
+# Result-cache maintenance (honours CACHE_DIR / REPRO_CACHE).
+cache-stats:
+	$(PYTHON) -m repro cache stats
+
+cache-clear:
+	$(PYTHON) -m repro cache clear
 
 # Observability gate (docs/OBSERVABILITY.md): traced runs must stay
 # bit-identical to untraced ones, trace files must validate against

@@ -1,0 +1,125 @@
+"""Sub-minute smoke gate for the sweep fast paths (``make bench-smoke``).
+
+Three properties, asserted (exit 1 on violation), all on a small sweep
+so the gate stays well under a minute:
+
+1. **Parallel wins** — on a multi-core host, a warm-pool chunked
+   parallel sweep must not be slower than serial (the PR 2 regression:
+   per-cell dispatch + per-driver executor startup made ``jobs=2``
+   *slower*).  Single-core hosts skip this assertion (the honest
+   expectation there is ~1x or below) but still exercise the path.
+2. **Cache works** — a cold-then-warm cache cycle: the warm rerun must
+   be all hits (zero simulations dispatched) and faster than cold.
+3. **Nothing drifts** — every variant (parallel, cold cache, warm
+   cache) is metric-identical to the serial, uncached sweep.
+
+Run directly or via ``make bench-smoke``; honours ``REPRO_JOBS`` /
+``REPRO_CHUNKSIZE``.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis.cache import ResultCache, use_cache
+from repro.analysis.parallel import (SweepCell, WorkerPool,
+                                     resolve_chunksize, resolve_jobs,
+                                     run_cells)
+from repro.workloads import clear_trace_cache, workload_names
+
+#: Small but not trivial: enough cells that chunked dispatch matters,
+#: short enough traces that the whole gate runs in seconds.
+LENGTH = 1_500
+N_WORKLOADS = 8
+CONFIGS = ((2, "stride", "vpb"), (4, "stride", "vpb"))
+
+
+def build_cells():
+    names = workload_names()[:N_WORKLOADS]
+    return [SweepCell(key=(name, n), workload=name, n_clusters=n,
+                      predictor=predictor, steering=steering,
+                      length=LENGTH)
+            for name in names
+            for n, predictor, steering in CONFIGS]
+
+
+def timed(cells, **kwargs):
+    clear_trace_cache()
+    start = time.perf_counter()
+    results = run_cells(cells, **kwargs)
+    return results, time.perf_counter() - start
+
+
+def identical(a, b) -> bool:
+    return a.keys() == b.keys() and all(
+        a[key].to_dict() == b[key].to_dict() for key in a)
+
+
+def main() -> int:
+    failures = []
+    cells = build_cells()
+    jobs = resolve_jobs(int(os.environ["REPRO_JOBS"])
+                        if "REPRO_JOBS" in os.environ else 0)
+    cores = os.cpu_count() or 1
+    chunksize = resolve_chunksize(None, len(cells), jobs)
+    print(f"smoke sweep: {len(cells)} cells x {LENGTH} instructions; "
+          f"jobs={jobs}, chunksize={chunksize}, cpu_count={cores}")
+
+    with use_cache(None):
+        serial, serial_s = timed(cells, jobs=1)
+        print(f"serial        : {serial_s:.2f}s")
+
+        with WorkerPool(jobs):
+            timed(cells, jobs=jobs)  # cold: pays worker startup
+            parallel, parallel_s = timed(cells, jobs=jobs)  # warm pool
+        print(f"parallel warm : {parallel_s:.2f}s "
+              f"(x{serial_s / parallel_s:.2f})" if parallel_s
+              else "parallel warm : <1ms")
+        if not identical(serial, parallel):
+            failures.append("parallel sweep drifted from serial")
+        if cores >= 2 and jobs >= 2:
+            if parallel_s > serial_s:
+                failures.append(
+                    f"parallel ({parallel_s:.2f}s) slower than serial "
+                    f"({serial_s:.2f}s) on a {cores}-core host")
+        else:
+            print("single-core host (or jobs=1): speedup assertion "
+                  "skipped")
+
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(tmp)
+            cold, cold_s = timed(cells, jobs=1, cache=cache)
+            cold_hits = cache.stats.hits
+            warm, warm_s = timed(cells, jobs=1, cache=cache)
+            warm_hits = cache.stats.hits - cold_hits
+            warm_misses = cache.stats.misses - len(cells)
+            print(f"cache         : {cold_s:.2f}s cold -> {warm_s:.2f}s "
+                  f"warm ({warm_hits} hits)")
+            if warm_hits != len(cells) or warm_misses != 0:
+                failures.append(
+                    f"warm cache rerun simulated: {warm_hits} hits / "
+                    f"{warm_misses} misses over {len(cells)} cells")
+            if warm_s >= cold_s:
+                failures.append(
+                    f"warm cache rerun ({warm_s:.2f}s) not faster than "
+                    f"cold ({cold_s:.2f}s)")
+            if not identical(serial, cold) or not identical(serial, warm):
+                failures.append("cached sweep drifted from serial")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("bench-smoke: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

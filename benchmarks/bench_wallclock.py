@@ -1,25 +1,31 @@
 """Wall-clock benchmark of the parallel sweep runner.
 
-Runs one fixed suite sweep twice — serially (``jobs=1``) and fanned out
-across worker processes — verifies the two are metric-identical, and
-records wall-clock times plus simulated-instructions-per-second into
-``BENCH_sweep.json`` at the repo root (the perf trajectory file; each
-entry is appended, so the history survives re-runs).
+Runs one fixed suite sweep several ways — serially (``jobs=1``), fanned
+out across a fresh worker pool, again on the same (warm) pool, and
+through a cold-then-warm result cache — verifies every variant is
+metric-identical to serial, and records wall-clock times plus
+simulated-instructions-per-second into ``BENCH_sweep.json`` at the repo
+root (the perf trajectory file; each entry is appended, so the history
+survives re-runs).
 
-Each entry also carries the serial run's per-cell wall-clock costs
-(the slowest cells, from ``run_cells(timings=...)``) and a tracer
-overhead section comparing an untraced run against ring-buffer and
-JSONL tracing (min-of-N, docs/OBSERVABILITY.md).
+Each entry also carries the dispatch chunk size
+(``repro.analysis.parallel.resolve_chunksize``), the pool-reuse and
+cache sections, the serial run's per-cell wall-clock costs (the slowest
+cells, from ``run_cells(timings=...)``) and a tracer overhead section
+comparing an untraced run against ring-buffer and JSONL tracing
+(min-of-N, docs/OBSERVABILITY.md).
 
 Run directly (``python benchmarks/bench_wallclock.py``) or via
 ``make bench-wallclock``.  Knobs: ``REPRO_JOBS`` sets the parallel
 worker count (default: all cores), ``REPRO_TRACE_LEN`` the per-cell
-trace length.
+trace length, ``REPRO_CHUNKSIZE`` the cells per worker dispatch.
 
 The recorded ``cpu_count`` is what makes the speedup interpretable:
 on a single-core host the parallel path degenerates to process overhead
-and the honest speedup is ~1x or below; the >= 2x criterion applies to
-hosts with >= 4 cores.
+and the honest speedup is ~1x or below; the >= 1.5x criterion applies
+to hosts with >= 2 cores.  A degenerate run whose parallel time rounds
+to zero records no ``speedup`` at all (``None`` would read as
+"infinitely slower"; see :func:`speedup_of`).
 """
 
 from __future__ import annotations
@@ -28,12 +34,16 @@ import json
 import os
 import pathlib
 import sys
+import tempfile
 import time
+from typing import Optional
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
-from repro.analysis.parallel import (SweepCell, resolve_jobs,
+from repro.analysis.cache import ResultCache, use_cache
+from repro.analysis.parallel import (SweepCell, WorkerPool,
+                                     resolve_chunksize, resolve_jobs,
                                      resolve_trace_length, run_cells)
 from repro.core import make_config, simulate
 from repro.obs import EventTracer, JsonlSink, RingBufferSink
@@ -54,15 +64,154 @@ def build_cells(length: int):
             for n, predictor, steering in CONFIGS]
 
 
-def timed_run(cells, jobs: int, timings=None):
+def speedup_of(serial_s: float, parallel_s: float) -> Optional[float]:
+    """Serial/parallel ratio, or ``None`` when it cannot be computed.
+
+    A zero (or negative, after clock weirdness) parallel time means the
+    run was too fast to measure; the old ``0.0`` sentinel read as
+    "infinitely slower" in the trajectory, so the field is omitted
+    instead (the BENCH schema treats a missing/``null`` speedup as
+    "not measurable", see docs/PERFORMANCE.md).
+    """
+    if parallel_s <= 0.0 or serial_s < 0.0:
+        return None
+    return round(serial_s / parallel_s, 3)
+
+
+def rate_of(insts: int, seconds: float) -> Optional[float]:
+    """Instructions per second, or ``None`` for unmeasurable runs."""
+    if seconds <= 0.0:
+        return None
+    return round(insts / seconds, 1)
+
+
+def timed_run(cells, jobs: int, timings=None, cache=None):
     # Drop the in-process trace cache so the serial and parallel paths
     # both pay (or amortize) trace generation the same way a fresh
     # campaign would.
     clear_trace_cache()
     start = time.perf_counter()
-    results = run_cells(cells, jobs=jobs, timings=timings)
+    results = run_cells(cells, jobs=jobs, timings=timings, cache=cache)
     elapsed = time.perf_counter() - start
     return results, elapsed
+
+
+def pool_reuse_timings(cells, jobs: int) -> dict:
+    """Cold (worker startup included) vs warm (reused pool) sweep times.
+
+    The pre-fix drivers each constructed a fresh executor, so every
+    figure paid the cold cost; the warm number is what a batch of
+    drivers inside one ``with WorkerPool(...)`` block pays per sweep.
+    """
+    with WorkerPool(jobs) as pool:
+        _, cold_s = timed_run(cells, jobs=jobs)
+        results, warm_s = timed_run(cells, jobs=jobs)
+        assert pool.started or jobs <= 1
+    return results, {
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+    }
+
+
+def cache_timings(cells, serial) -> dict:
+    """Cold-populate vs warm-hit sweep times through a fresh cache."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        _, cold_s = timed_run(cells, jobs=1, cache=cache)
+        cold_stats = (cache.stats.hits, cache.stats.misses)
+        warm, warm_s = timed_run(cells, jobs=1, cache=cache)
+        warm_hits = cache.stats.hits - cold_stats[0]
+        identical = warm.keys() == serial.keys() and all(
+            warm[key].to_dict() == serial[key].to_dict() for key in serial)
+    return {
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "cold_misses": cold_stats[1],
+        "warm_hits": warm_hits,
+        "warm_speedup": speedup_of(cold_s, warm_s),
+        "metric_identical": identical,
+    }
+
+
+def main() -> int:
+    # Shadow any ambient REPRO_CACHE: the serial/parallel timings must
+    # measure simulation, and the cache section brings its own cache.
+    with use_cache(None):
+        return _main()
+
+
+def _main() -> int:
+    length = resolve_trace_length(None, default=4_000)
+    jobs = resolve_jobs(int(os.environ["REPRO_JOBS"])
+                        if "REPRO_JOBS" in os.environ else 0)
+    cells = build_cells(length)
+    chunksize = resolve_chunksize(None, len(cells), jobs)
+    print(f"sweep: {len(cells)} cells x {length} instructions; "
+          f"parallel jobs={jobs}, chunksize={chunksize} "
+          f"(cpu_count={os.cpu_count()})")
+
+    cell_timings: dict = {}
+    serial, serial_s = timed_run(cells, jobs=1, timings=cell_timings)
+    print(f"serial  : {serial_s:.2f}s")
+    parallel, pool_reuse = pool_reuse_timings(cells, jobs)
+    parallel_s = pool_reuse["warm_seconds"]
+    print(f"parallel: {pool_reuse['cold_seconds']:.2f}s cold pool, "
+          f"{parallel_s:.2f}s warm pool")
+    cache = cache_timings(cells, serial)
+    print(f"cache   : {cache['cold_seconds']:.2f}s cold, "
+          f"{cache['warm_seconds']:.2f}s warm "
+          f"({cache['warm_hits']} hit(s))")
+    slowest = sorted(cell_timings.items(), key=lambda kv: -kv[1])[:5]
+    for key, seconds in slowest:
+        print(f"  slow cell {key}: {seconds:.2f}s")
+    overhead = tracer_overhead(length)
+    print(f"tracer overhead: ring {overhead['ring_overhead']:+.1%}, "
+          f"jsonl {overhead['jsonl_overhead']:+.1%}")
+
+    identical = serial.keys() == parallel.keys() and all(
+        serial[key].to_dict() == parallel[key].to_dict() for key in serial)
+    identical = identical and cache["metric_identical"]
+    insts = sum(result.stats.committed_insts for result in serial.values())
+    speedup = speedup_of(serial_s, parallel_s)
+    entry = {
+        "benchmark": "sweep_wallclock",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "chunksize": chunksize,
+        "cells": len(cells),
+        "trace_length": length,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "pool_reuse": pool_reuse,
+        "cache": cache,
+        "simulated_insts": insts,
+        "serial_insts_per_second": rate_of(insts, serial_s),
+        "parallel_insts_per_second": rate_of(insts, parallel_s),
+        "metric_identical": identical,
+        "slowest_cells": [{"workload": key[0], "clusters": key[1],
+                           "seconds": round(seconds, 3)}
+                          for key, seconds in slowest],
+        "tracer_overhead": overhead,
+    }
+    if speedup is not None:
+        entry["speedup"] = speedup
+    history = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    shown = f"{speedup:.2f}x" if speedup is not None else "n/a"
+    print(f"speedup : {shown} on {jobs} job(s) (warm pool); "
+          f"cache warm rerun "
+          f"{cache['warm_speedup'] or 'n/a'}x vs cold")
+    print(f"metric-identical: {identical}")
+    print(f"recorded in {RESULT_PATH}")
+    return 0 if identical else 1
 
 
 def tracer_overhead(length: int, repeats: int = 3) -> dict:
@@ -72,7 +221,6 @@ def tracer_overhead(length: int, repeats: int = 3) -> dict:
     drift hits them equally; min over repeats filters the noise.
     Ratios > 1 are tracing cost.
     """
-    import tempfile
     trace = list(workload_trace("cjpeg", length))
     config = make_config(4, predictor="stride", steering="vpb")
 
@@ -81,8 +229,10 @@ def tracer_overhead(length: int, repeats: int = 3) -> dict:
 
         def jsonl_run():
             sink = JsonlSink(path, config.describe())
-            simulate(list(trace), config, tracer=EventTracer(sink))
-            sink.close()
+            try:
+                simulate(list(trace), config, tracer=EventTracer(sink))
+            finally:
+                sink.close()
 
         variants = (
             ("baseline", lambda: simulate(list(trace), config)),
@@ -107,65 +257,6 @@ def tracer_overhead(length: int, repeats: int = 3) -> dict:
         "ring_overhead": round(ring / baseline - 1.0, 4),
         "jsonl_overhead": round(jsonl / baseline - 1.0, 4),
     }
-
-
-def main() -> int:
-    length = resolve_trace_length(None, default=4_000)
-    jobs = resolve_jobs(int(os.environ["REPRO_JOBS"])
-                        if "REPRO_JOBS" in os.environ else 0)
-    cells = build_cells(length)
-    print(f"sweep: {len(cells)} cells x {length} instructions; "
-          f"parallel jobs={jobs} (cpu_count={os.cpu_count()})")
-
-    cell_timings: dict = {}
-    serial, serial_s = timed_run(cells, jobs=1, timings=cell_timings)
-    print(f"serial  : {serial_s:.2f}s")
-    parallel, parallel_s = timed_run(cells, jobs=jobs)
-    print(f"parallel: {parallel_s:.2f}s")
-    slowest = sorted(cell_timings.items(), key=lambda kv: -kv[1])[:5]
-    for key, seconds in slowest:
-        print(f"  slow cell {key}: {seconds:.2f}s")
-    overhead = tracer_overhead(length)
-    print(f"tracer overhead: ring {overhead['ring_overhead']:+.1%}, "
-          f"jsonl {overhead['jsonl_overhead']:+.1%}")
-
-    identical = serial.keys() == parallel.keys() and all(
-        serial[key].to_dict() == parallel[key].to_dict() for key in serial)
-    insts = sum(result.stats.committed_insts for result in serial.values())
-    speedup = serial_s / parallel_s if parallel_s else 0.0
-    entry = {
-        "benchmark": "sweep_wallclock",
-        "cpu_count": os.cpu_count(),
-        "jobs": jobs,
-        "cells": len(cells),
-        "trace_length": length,
-        "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "speedup": round(speedup, 3),
-        "simulated_insts": insts,
-        "serial_insts_per_second": round(insts / serial_s, 1),
-        "parallel_insts_per_second": round(insts / parallel_s, 1),
-        "metric_identical": identical,
-        "slowest_cells": [{"workload": key[0], "clusters": key[1],
-                           "seconds": round(seconds, 3)}
-                          for key, seconds in slowest],
-        "tracer_overhead": overhead,
-    }
-    history = []
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(entry)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
-    print(f"speedup : {speedup:.2f}x on {jobs} job(s); "
-          f"{entry['parallel_insts_per_second']:.0f} sim insts/s parallel")
-    print(f"metric-identical: {identical}")
-    print(f"recorded in {RESULT_PATH}")
-    return 0 if identical else 1
 
 
 if __name__ == "__main__":

@@ -14,12 +14,15 @@ from .experiments import (AblationResult, ErrorLedger, Figure2Result,
                           run_scaling,
                           ScalingResult, selected_workloads,
                           simulate_cell, trace_length)
+from .cache import (CacheStats, ResultCache, active_cache, code_version,
+                    default_cache, resolve_cache, use_cache)
 from .export import (ablation_rows, figure2_rows, figure3_rows,
                      figure4_rows, figure5_rows, headline_rows,
                      interval_rows, scaling_rows, to_csv, to_json)
 from .metrics import ipcr, mean, pct_change, suite_mean
-from .parallel import (CellFailure, CellOutcome, SweepCell, cell_seed,
-                       is_transient_error, resolve_jobs,
+from .parallel import (CellFailure, CellOutcome, SweepCell, WorkerPool,
+                       active_pool, cell_seed, is_transient_error,
+                       resolve_chunksize, resolve_jobs,
                        resolve_trace_length, run_cells,
                        simulate_sweep_cell)
 from .report import (bar, format_ablation, format_figure2, format_figure3,
@@ -41,9 +44,12 @@ __all__ = [
     "run_scaling", "ScalingResult", "run_robustness",
     "simulate_cell", "selected_workloads",
     "trace_length",
-    "CellFailure", "CellOutcome", "SweepCell", "cell_seed",
-    "is_transient_error", "resolve_jobs", "resolve_trace_length",
-    "run_cells", "simulate_sweep_cell",
+    "CellFailure", "CellOutcome", "SweepCell", "WorkerPool",
+    "active_pool", "cell_seed",
+    "is_transient_error", "resolve_chunksize", "resolve_jobs",
+    "resolve_trace_length", "run_cells", "simulate_sweep_cell",
+    "CacheStats", "ResultCache", "active_cache", "code_version",
+    "default_cache", "resolve_cache", "use_cache",
     "ipcr", "mean", "pct_change", "suite_mean",
     "ablation_rows", "figure2_rows", "figure3_rows", "figure4_rows",
     "figure5_rows", "headline_rows", "interval_rows", "scaling_rows",

@@ -20,6 +20,14 @@ worker processes):
 * ``REPRO_WORKLOADS`` — comma-separated subset of the suite.
 * ``REPRO_JOBS`` — sweep worker processes (default 1 = serial;
   0 = all cores).
+* ``REPRO_CHUNKSIZE`` — cells per worker dispatch (default: a
+  four-chunks-per-worker heuristic; see docs/PERFORMANCE.md).
+* ``REPRO_CACHE`` — opt-in content-addressed result cache directory
+  (see :mod:`repro.analysis.cache`).
+
+Several drivers in one session should share a
+:class:`~repro.analysis.parallel.WorkerPool` (``with WorkerPool(jobs):``)
+so worker startup is paid once, not per figure.
 """
 
 from __future__ import annotations
@@ -32,8 +40,9 @@ from ..core import SimResult, make_config, simulate
 from ..errors import WorkloadError
 from ..workloads import workload_names, workload_trace
 from .metrics import mean, pct_change
-from .parallel import (SweepCell, is_transient_error, resolve_jobs,
-                       resolve_trace_length, run_cells, simulate_sweep_cell)
+from .parallel import (SweepCell, active_pool, is_transient_error,
+                       resolve_jobs, resolve_trace_length, run_cells,
+                       simulate_sweep_cell)
 
 __all__ = [
     "trace_length", "selected_workloads", "run_one",
@@ -232,6 +241,9 @@ def run_graceful_sweep(workloads: Sequence[str] = None,
     is identical regardless of worker count.
     """
     length = resolve_trace_length(length)
+    pool = active_pool()
+    if jobs is None and pool is not None:
+        jobs = pool.jobs
     jobs = resolve_jobs(jobs)
     names = list(workloads or selected_workloads())
     result = GracefulSweepResult()
@@ -790,7 +802,10 @@ def run_robustness(workloads: Sequence[str] = None,
 
     The reduced-trace methodology is only sound if the directional
     claims are stable against the window size; this driver (and its
-    benchmark) checks exactly that.
+    benchmark) checks exactly that.  One :class:`WorkerPool` is shared
+    across the per-length sweeps, so worker startup is paid once.
     """
-    return {length: run_headline(workloads, length, jobs=jobs)
-            for length in lengths}
+    from .parallel import WorkerPool
+    with WorkerPool(jobs):
+        return {length: run_headline(workloads, length, jobs=jobs)
+                for length in lengths}

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
+from ..errors import WorkloadError
+
 __all__ = ["ipcr", "mean", "pct_change", "suite_mean"]
 
 
@@ -38,7 +40,17 @@ def pct_change(before: float, after: float) -> float:
 
 def suite_mean(per_benchmark: Mapping[str, float],
                subset: Sequence[str] = None) -> float:
-    """Mean of a per-benchmark metric, optionally over a subset."""
+    """Mean of a per-benchmark metric, optionally over a subset.
+
+    A *subset* naming benchmarks absent from *per_benchmark* raises
+    :class:`~repro.errors.WorkloadError` listing the available names
+    (the PR 1 error taxonomy), not a bare ``KeyError``.
+    """
     if subset is None:
         return mean(per_benchmark.values())
+    unknown = [name for name in subset if name not in per_benchmark]
+    if unknown:
+        raise WorkloadError(
+            f"unknown benchmark(s) in subset: {unknown}; "
+            f"available: {sorted(per_benchmark)}")
     return mean(per_benchmark[name] for name in subset)

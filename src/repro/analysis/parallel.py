@@ -14,11 +14,28 @@ embarrassingly parallel map.  This module provides that map:
   :class:`~concurrent.futures.ProcessPoolExecutor`, with identical
   retry/ledger semantics on both paths.  Results are collected **in
   cell order**, so ledgers and result dictionaries are byte-identical
-  regardless of completion order or worker count.
-* :func:`resolve_jobs` / :func:`resolve_trace_length` — the only places
-  that read the ``REPRO_JOBS`` / ``REPRO_TRACE_LEN`` environment knobs,
-  validating them once at sweep setup (malformed values raise
-  :class:`~repro.errors.ConfigError`, not a bare ``ValueError``).
+  regardless of completion order, worker count, chunk size, or cache
+  state.
+* :class:`WorkerPool` — a reusable executor shared across sweeps.  A
+  4k-instruction cell simulates in a few hundred milliseconds, so
+  paying worker-interpreter startup per figure driver (and one
+  pickle/IPC round-trip per cell, the default ``chunksize=1``) is what
+  made ``jobs=2`` *slower* than serial in BENCH_sweep.json.  Enter one
+  pool around a batch of drivers (``with WorkerPool(jobs):``) and every
+  ``run_cells`` inside reuses its warm workers; cells are dispatched in
+  chunks sized by :func:`resolve_chunksize`.
+* :func:`resolve_jobs` / :func:`resolve_trace_length` /
+  :func:`resolve_chunksize` — the only places that read the
+  ``REPRO_JOBS`` / ``REPRO_TRACE_LEN`` / ``REPRO_CHUNKSIZE``
+  environment knobs, validating them once at sweep setup (malformed
+  values raise :class:`~repro.errors.ConfigError`, not a bare
+  ``ValueError``).
+
+Repeated sweeps can additionally skip simulation entirely via the
+opt-in content-addressed result cache (``repro.analysis.cache``):
+``run_cells`` looks every cell up before dispatching, runs only the
+misses, and stores their results — hits and misses are counted on the
+cache object and surfaced by the CLI and benchmarks.
 
 Failure handling matches :func:`repro.analysis.experiments.run_one_safe`:
 the simulator is deterministic, so a cell that failed with a
@@ -42,10 +59,12 @@ from ..core import SimResult, make_config, simulate
 from ..errors import (ConfigError, DeadlockError, DivergenceError,
                       ReproError, SimulationError, WorkloadError)
 from ..workloads import DEFAULT_TRACE_LENGTH, workload_trace
+from .cache import ResultCache, default_cache
 
-__all__ = ["SweepCell", "CellFailure", "CellOutcome", "cell_seed",
-           "is_transient_error", "run_cells", "resolve_jobs",
-           "resolve_trace_length", "simulate_sweep_cell"]
+__all__ = ["SweepCell", "CellFailure", "CellOutcome", "WorkerPool",
+           "active_pool", "cell_seed", "is_transient_error", "run_cells",
+           "resolve_chunksize", "resolve_jobs", "resolve_trace_length",
+           "simulate_sweep_cell"]
 
 
 #: Error types whose failures are deterministic replays: the simulator
@@ -119,6 +138,110 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def resolve_chunksize(chunksize: Optional[int] = None, n_items: int = 0,
+                      jobs: int = 1) -> int:
+    """Resolve the per-dispatch cell chunk size once, at sweep setup.
+
+    Explicit *chunksize* wins; otherwise ``REPRO_CHUNKSIZE`` is read and
+    validated here.  With neither given, the heuristic splits the sweep
+    into about four chunks per worker — large enough to amortize the
+    pickle + IPC round-trip that dominated per-cell dispatch at the
+    default ``chunksize=1`` (the BENCH_sweep.json ``speedup: 0.911``
+    regression), small enough that a straggler chunk cannot idle the
+    other workers for long.
+    """
+    if chunksize is None:
+        raw = os.environ.get("REPRO_CHUNKSIZE")
+        if raw is None:
+            if jobs < 1 or n_items < 1:
+                return 1
+            return max(1, -(-n_items // (jobs * 4)))
+        try:
+            chunksize = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_CHUNKSIZE must be an integer cell count, "
+                f"got {raw!r}") from None
+    if chunksize < 1:
+        raise ConfigError(f"chunk size must be >= 1, got {chunksize}")
+    return chunksize
+
+
+#: Stack of pools entered via ``with WorkerPool(...)`` (innermost last).
+_POOL_STACK: List["WorkerPool"] = []
+
+
+def active_pool() -> Optional["WorkerPool"]:
+    """The innermost entered :class:`WorkerPool`, if any."""
+    return _POOL_STACK[-1] if _POOL_STACK else None
+
+
+class WorkerPool:
+    """A reusable sweep executor shared across ``run_cells`` calls.
+
+    Creating a :class:`~concurrent.futures.ProcessPoolExecutor` costs a
+    Python interpreter startup (plus ``repro`` import) per worker; the
+    figure drivers each ran a sweep of a few seconds, so paying that per
+    driver erased the parallel win.  A ``WorkerPool`` creates its
+    executor lazily on first parallel use and keeps it warm until
+    :meth:`close`; used as a context manager it also registers itself as
+    the process-wide default, so every ``run_cells`` (and the fault
+    campaign) inside the block shares it without parameter threading::
+
+        with WorkerPool(jobs=4):
+            fig2 = run_figure2()    # starts the workers
+            fig3 = run_figure3()    # reuses them
+        # workers shut down here
+
+    A pool resolved to ``jobs=1`` never spawns processes — every mapped
+    call runs serially in-process, preserving the serial path's
+    trace-cache sharing.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes exist."""
+        return self._executor is not None
+
+    def map(self, fn, items: Sequence, chunksize: Optional[int] = None
+            ) -> list:
+        """``map(fn, items)`` over the pool, in input order.
+
+        Serial (``jobs=1``) pools run in-process; parallel pools
+        dispatch *chunksize* items per worker round-trip
+        (:func:`resolve_chunksize` when not given).
+        """
+        if self._closed:
+            raise ConfigError("worker pool is closed")
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        chunksize = resolve_chunksize(chunksize, len(items), self.jobs)
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        _POOL_STACK.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if _POOL_STACK and _POOL_STACK[-1] is self:
+            _POOL_STACK.pop()
+        self.close()
 
 
 def cell_seed(workload: str, n_clusters: int, predictor: str,
@@ -268,15 +391,19 @@ def _raise_failure(cell: SweepCell, failure: CellFailure) -> None:
 
 def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
               ledger=None, retries: int = 1,
-              timings: Optional[Dict[Any, float]] = None
+              timings: Optional[Dict[Any, float]] = None,
+              pool: Optional[WorkerPool] = None,
+              cache: Optional[ResultCache] = None,
+              chunksize: Optional[int] = None
               ) -> Dict[Any, SimResult]:
     """Execute *cells* and return ``{cell.key: SimResult}``.
 
     Args:
         cells: the sweep, in the order results (and ledger entries)
             should be recorded.
-        jobs: worker processes; ``None`` defers to ``REPRO_JOBS`` (see
-            :func:`resolve_jobs`), 1 runs serially in process.
+        jobs: worker processes; ``None`` defers to the active
+            :class:`WorkerPool`'s count, then ``REPRO_JOBS`` (see
+            :func:`resolve_jobs`); 1 runs serially in process.
         ledger: an :class:`~repro.analysis.experiments.ErrorLedger`.
             When given, failed cells are recorded there and omitted
             from the result dict; when ``None``, the first failure is
@@ -285,19 +412,72 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
             errors; deterministic failures are never retried.
         timings: optional dict receiving ``{cell.key: seconds}`` —
             each cell's worker-side wall-clock cost (all attempts),
-            for sweep profiling (benchmarks/BENCH_sweep.json).
+            for sweep profiling (benchmarks/BENCH_sweep.json).  Cache
+            hits report 0.0 (no simulation happened).
+        pool: a :class:`WorkerPool` to dispatch through; ``None`` uses
+            the innermost ``with WorkerPool(...)`` block if any, else
+            an ephemeral executor torn down when the call returns.
+        cache: a :class:`~repro.analysis.cache.ResultCache`; ``None``
+            defers to :func:`~repro.analysis.cache.default_cache`
+            (``use_cache`` context, then the ``REPRO_CACHE`` opt-in).
+            Cells found in the cache are never dispatched; fresh
+            successful results are stored back.
+        chunksize: cells per worker dispatch; ``None`` defers to
+            ``REPRO_CHUNKSIZE``, then :func:`resolve_chunksize`'s
+            about-four-chunks-per-worker heuristic.
 
-    Both execution paths call the same per-cell function, and outcomes
-    are folded in submission order, so serial and parallel runs produce
-    identical result dictionaries and identical ledgers.
+    Every execution path calls the same per-cell function, and outcomes
+    are folded in submission order, so serial, parallel, and
+    cache-assisted runs produce identical result dictionaries and
+    identical ledgers.
     """
+    if pool is None:
+        pool = active_pool()
+    if jobs is None and pool is not None:
+        jobs = pool.jobs
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        outcomes = [_execute_cell(cell, retries) for cell in cells]
+    if cache is None:
+        cache = default_cache()
+
+    # Cache pre-pass: resolve hits in the parent, dispatch only misses.
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    keys: List[Optional[str]] = [None] * len(cells)
+    pending: List[int] = []
+    if cache is not None:
+        for index, cell in enumerate(cells):
+            try:
+                key = cache.key_for(cell)
+            except Exception:
+                # Invalid cell (e.g. bad config): uncacheable; let the
+                # execution path produce the real, classified failure.
+                key = None
+            keys[index] = key
+            hit = cache.get(key) if key is not None else None
+            if hit is not None:
+                outcomes[index] = CellOutcome(cell.key, result=hit)
+            else:
+                pending.append(index)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            outcomes = list(pool.map(_pool_worker,
-                                     [(cell, retries) for cell in cells]))
+        pending = list(range(len(cells)))
+
+    if pending:
+        items = [(cells[index], retries) for index in pending]
+        if jobs <= 1 or len(items) <= 1:
+            ran = [_pool_worker(item) for item in items]
+        elif pool is not None:
+            ran = pool.map(_pool_worker, items, chunksize=chunksize)
+        else:
+            chunk = resolve_chunksize(chunksize, len(items), jobs)
+            workers = min(jobs, len(items))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                ran = list(executor.map(_pool_worker, items,
+                                        chunksize=chunk))
+        for index, outcome in zip(pending, ran):
+            outcomes[index] = outcome
+            if (cache is not None and keys[index] is not None
+                    and outcome.result is not None):
+                cache.put(keys[index], outcome.result)
+
     results: Dict[Any, SimResult] = {}
     for cell, outcome in zip(cells, outcomes):
         if timings is not None:

@@ -16,10 +16,15 @@ Commands:
   predictor and free-copy ablations.
 * ``campaign`` — the fault-injection robustness campaign
   (docs/ROBUSTNESS.md), written to ``results/robustness_campaign.txt``.
+* ``cache`` — stats/clear maintenance of the opt-in content-addressed
+  sweep result cache (docs/PERFORMANCE.md).
 
-Every figure command honours ``--workloads``, ``--length`` and
-``--jobs`` (and the ``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN`` /
-``REPRO_JOBS`` environment variables).
+Every figure command honours ``--workloads``, ``--length``, ``--jobs``
+and ``--cache-dir`` (and the ``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN``
+/ ``REPRO_JOBS`` / ``REPRO_CHUNKSIZE`` / ``REPRO_CACHE`` environment
+variables).  A figure command holds one shared worker pool for its
+whole run, so multi-sweep commands (``ablations``) pay worker startup
+once.
 
 Exit codes: 0 on success, 1 when the simulation itself failed
 (divergence, deadlock, ...), 2 on a usage error (bad flag values,
@@ -106,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--output", default=None,
                       help="report path (default: "
                            "results/robustness_campaign.txt)")
+    camp.add_argument("--jobs", type=int, default=None,
+                      help="fan per-workload blocks across this many "
+                           "worker processes (0 = all cores)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="sweep result cache maintenance (docs/PERFORMANCE.md)")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="show entry count/size, or delete entries")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: REPRO_CACHE or "
+                            ".repro_cache)")
 
     for name, help_text in (
             ("figure2", "IPC of 1/2/4 clusters, +/- value prediction"),
@@ -124,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--jobs", type=int, default=None,
                          help="sweep worker processes (0 = all cores; "
                               "default: REPRO_JOBS or serial)")
+        fig.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed result cache directory "
+                              "(default: REPRO_CACHE, or no caching)")
     return parser
 
 
@@ -215,12 +235,17 @@ def _cmd_simulate(args) -> None:
     metrics_interval = args.metrics_interval
     if metrics_interval is None and args.metrics_out:
         metrics_interval = 1000
-    result = simulate(list(trace), config, check=args.check,
-                      fault_plan=fault_plan, tracer=tracer,
-                      metrics_interval=metrics_interval,
-                      profile=args.profile)
-    if sink is not None:
-        sink.close()
+    try:
+        result = simulate(list(trace), config, check=args.check,
+                          fault_plan=fault_plan, tracer=tracer,
+                          metrics_interval=metrics_interval,
+                          profile=args.profile)
+    finally:
+        # Flush buffered trace events even when the simulation raises:
+        # the crash trace (deadlock snapshot, divergence) is exactly the
+        # flight-recorder case the trace file exists for.
+        if sink is not None:
+            sink.close()
     print(result.summary())
     if tracer is not None:
         print(f"trace               : {tracer.total_events} events "
@@ -264,10 +289,9 @@ def _cmd_trace(args) -> None:
     timeline = analysis.timeline_from_events(sink.events)
     print(analysis.render_timeline(timeline, args.first_seq, args.count))
     if args.out:
-        chrome = _open_trace_sink(args.out, config.describe())
-        for event in sink.events:
-            chrome.append(event)
-        chrome.close()
+        with _open_trace_sink(args.out, config.describe()) as chrome:
+            for event in sink.events:
+                chrome.append(event)
         print(f"\nfull trace ({len(sink.events)} events) "
               f"written to {args.out}")
 
@@ -280,7 +304,8 @@ def _cmd_campaign(args) -> None:
             f"--rate must be in (0, 1], got {args.rate}")
     result = run_fault_campaign(workloads=_subset(args),
                                 seeds=tuple(range(args.seeds)),
-                                length=args.length, rate=args.rate)
+                                length=args.length, rate=args.rate,
+                                jobs=args.jobs)
     report = format_campaign(result)
     print(report)
     path = args.output or os.path.join("results",
@@ -295,7 +320,36 @@ def _cmd_campaign(args) -> None:
             f"cell(s), detection rate {result.detection_rate:.0%}")
 
 
+def _cmd_cache(args) -> None:
+    from .analysis.cache import DEFAULT_CACHE_DIR, ResultCache, resolve_cache
+    cache = resolve_cache(args.cache_dir)
+    if cache is None:
+        cache = ResultCache(DEFAULT_CACHE_DIR)
+    if args.action == "stats":
+        print(cache.describe())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+
+
 def _cmd_figure(args) -> None:
+    from .analysis.cache import resolve_cache, use_cache
+    from .analysis.parallel import WorkerPool
+    # resolve_cache already folds in the REPRO_CACHE opt-in, so pinning
+    # its result via use_cache only makes the command's cache explicit
+    # (and gives one object whose hit/miss counters we can report).
+    cache = resolve_cache(args.cache_dir)
+    # One pool for the whole command: multi-sweep commands (ablations,
+    # run_robustness) reuse warm workers instead of paying interpreter
+    # startup per driver.
+    with WorkerPool(args.jobs), use_cache(cache):
+        _run_figure_command(args)
+    if cache is not None:
+        print(f"cache: {cache.stats.render()} in {cache.root}")
+
+
+def _run_figure_command(args) -> None:
     subset, length, jobs = _subset(args), args.length, args.jobs
     if args.command == "figure2":
         print(analysis.format_figure2(
@@ -358,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_trace(args)
         elif args.command == "campaign":
             _cmd_campaign(args)
+        elif args.command == "cache":
+            _cmd_cache(args)
         else:
             _cmd_figure(args)
     except (ConfigError, WorkloadError) as error:

@@ -22,7 +22,8 @@ the Figure 4 sweep knobs) and the 128K-entry stride value predictor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from ..errors import ConfigError
@@ -166,6 +167,32 @@ class ProcessorConfig:
         return (f"{self.n_clusters}c/{self.steering}/{vp}"
                 f"/L{self.comm_latency}"
                 f"/B{self.comm_paths_per_cluster or 'inf'}")
+
+    def canonical_dict(self) -> dict:
+        """A stable, JSON-serializable view of every field.
+
+        Two configs compare equal iff their canonical dicts are equal:
+        enum-keyed latency overrides are flattened to sorted
+        ``(name, cycles)`` pairs and the static-assignment map to sorted
+        ``(pc, cluster)`` pairs, so the representation is independent of
+        dict insertion order.  This is the hashing substrate of the
+        content-addressed result cache (``repro.analysis.cache``).
+        """
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "latencies":
+                value = sorted((getattr(op, "name", str(op)), cycles)
+                               for op, cycles in value.items())
+            elif spec.name == "static_assignment" and value is not None:
+                value = sorted(value.items())
+            out[spec.name] = value
+        return out
+
+    def canonical_json(self) -> str:
+        """The canonical dict as deterministic compact JSON."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"), default=str)
 
 
 def derive_preset(n_clusters: int) -> tuple:

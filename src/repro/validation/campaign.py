@@ -96,6 +96,50 @@ class CampaignResult:
                 / len(cells))
 
 
+def _campaign_workload_block(payload: tuple) -> List[CampaignCell]:
+    """All (kind, seed) cells of one workload — the campaign's unit of
+    parallelism.
+
+    Module-level (hence picklable) so :class:`~repro.analysis.parallel.
+    WorkerPool` can fan workloads out across processes; each block
+    rebuilds its trace from the explicit payload, never from inherited
+    state, so parallel campaigns match serial ones cell for cell.
+    """
+    (name, kinds, seeds, length, n_clusters, predictor, steering,
+     rate, comm_latency) = payload
+    from ..core import make_config, simulate
+    from ..workloads import workload_trace
+
+    config = make_config(n_clusters, predictor=predictor, steering=steering,
+                         comm_latency=comm_latency)
+    trace = list(workload_trace(name, length or 6_000))
+    baseline = simulate(trace, config, check=True)
+    cells: List[CampaignCell] = []
+    for kind in kinds:
+        for seed in seeds:
+            cell = CampaignCell(name, kind, seed,
+                                baseline_cycles=baseline.stats.cycles,
+                                baseline_ipc=baseline.ipc)
+            cells.append(cell)
+            plan = FaultPlan.single(kind, rate=rate, seed=seed)
+            try:
+                sim = simulate(trace, config, check=True,
+                               fault_plan=plan)
+            except SimulationError as exc:
+                cell.error = f"{type(exc).__name__}: {exc}"
+                continue
+            report = sim.validation.get("fault_report")
+            if report is not None:
+                cell.injected = report.injected.get(kind, 0)
+                cell.detected = report.detected_values
+            cell.cycles = sim.stats.cycles
+            cell.ipc = sim.ipc
+            # Recovery = the run completed and the golden model
+            # verified every commit without divergence.
+            cell.recovered = True
+    return cells
+
+
 def run_fault_campaign(workloads: Optional[Sequence[str]] = None,
                        seeds: Sequence[int] = (0, 1, 2),
                        kinds: Sequence[str] = DEFAULT_KINDS,
@@ -104,48 +148,45 @@ def run_fault_campaign(workloads: Optional[Sequence[str]] = None,
                        predictor: str = "stride",
                        steering: str = "vpb",
                        rate: float = 0.05,
-                       comm_latency: int = 1) -> CampaignResult:
+                       comm_latency: int = 1,
+                       jobs: Optional[int] = None) -> CampaignResult:
     """Sweep fault kinds x seeds x workloads under the co-simulator.
 
     Every cell runs with the golden model enabled; a cell "recovers"
     when the run completes and the committed stream verifies clean.
     Cells that raise are recorded with their error and the campaign
     continues.
+
+    With ``jobs > 1`` (or inside a ``with WorkerPool(...)`` block) the
+    per-workload blocks fan out across worker processes — each block is
+    seeded and explicit, and blocks are folded in workload order, so
+    the report is identical to a serial campaign's.
     """
-    # Local imports: the core simulator imports this package lazily and
+    # Local import: the core simulator imports this package lazily and
     # vice versa; importing at call time breaks the cycle.
-    from ..core import make_config, simulate
-    from ..workloads import workload_names, workload_trace
+    from ..analysis.parallel import WorkerPool, active_pool, resolve_jobs
+    from ..workloads import workload_names
 
     names = list(workloads) if workloads else workload_names()[:2]
+    pool = active_pool()
+    if jobs is None and pool is not None:
+        jobs = pool.jobs
+    jobs = resolve_jobs(jobs)
     result = CampaignResult(comm_latency=comm_latency)
-    config = make_config(n_clusters, predictor=predictor, steering=steering,
-                         comm_latency=comm_latency)
-    for name in names:
-        trace = list(workload_trace(name, length or 6_000))
-        baseline = simulate(trace, config, check=True)
-        for kind in kinds:
-            for seed in seeds:
-                cell = CampaignCell(name, kind, seed,
-                                    baseline_cycles=baseline.stats.cycles,
-                                    baseline_ipc=baseline.ipc)
-                result.cells.append(cell)
-                plan = FaultPlan.single(kind, rate=rate, seed=seed)
-                try:
-                    sim = simulate(trace, config, check=True,
-                                   fault_plan=plan)
-                except SimulationError as exc:
-                    cell.error = f"{type(exc).__name__}: {exc}"
-                    continue
-                report = sim.validation.get("fault_report")
-                if report is not None:
-                    cell.injected = report.injected.get(kind, 0)
-                    cell.detected = report.detected_values
-                cell.cycles = sim.stats.cycles
-                cell.ipc = sim.ipc
-                # Recovery = the run completed and the golden model
-                # verified every commit without divergence.
-                cell.recovered = True
+    payloads = [(name, tuple(kinds), tuple(seeds), length, n_clusters,
+                 predictor, steering, rate, comm_latency)
+                for name in names]
+    if jobs <= 1 or len(payloads) <= 1:
+        blocks = [_campaign_workload_block(payload) for payload in payloads]
+    elif pool is not None:
+        # One workload block per dispatch: blocks are coarse already.
+        blocks = pool.map(_campaign_workload_block, payloads, chunksize=1)
+    else:
+        with WorkerPool(jobs) as own:
+            blocks = own.map(_campaign_workload_block, payloads,
+                             chunksize=1)
+    for block in blocks:
+        result.cells.extend(block)
     return result
 
 

@@ -26,3 +26,18 @@ def test_suite_mean_with_subset():
     assert suite_mean(data) == 3.0
     assert suite_mean(data, subset=["a", "c"]) == 3.0
     assert suite_mean(data, subset=["b"]) == 3.0
+
+
+def test_suite_mean_unknown_subset_raises_workload_error():
+    from repro.errors import WorkloadError
+    data = {"a": 1.0, "b": 3.0}
+    with pytest.raises(WorkloadError) as excinfo:
+        suite_mean(data, subset=["a", "nope", "zap"])
+    # The message names the offenders and lists what exists.
+    message = str(excinfo.value)
+    assert "nope" in message and "zap" in message
+    assert "'a'" in message and "'b'" in message
+
+
+def test_suite_mean_empty_subset_is_empty_mean():
+    assert suite_mean({"a": 1.0}, subset=[]) == 0.0

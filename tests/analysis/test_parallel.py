@@ -6,8 +6,9 @@ import pytest
 
 from repro.analysis.experiments import (ErrorLedger, run_graceful_sweep,
                                         run_one_safe)
-from repro.analysis.parallel import (SweepCell, cell_seed,
-                                     is_transient_error, resolve_jobs,
+from repro.analysis.parallel import (SweepCell, WorkerPool, active_pool,
+                                     cell_seed, is_transient_error,
+                                     resolve_chunksize, resolve_jobs,
                                      resolve_trace_length, run_cells)
 from repro.errors import (ConfigError, DeadlockError, DivergenceError,
                           SimulationError, WorkloadError)
@@ -68,6 +69,116 @@ class TestSerialParallelEquivalence:
         parallel = run_graceful_sweep(jobs=2, **kwargs)
         assert serial.ipc == parallel.ipc
         assert serial.ledger.entries == parallel.ledger.entries
+
+
+class TestChunkedDispatch:
+    """The PR 2 regression: per-cell dispatch made jobs=2 slower than
+    serial.  Chunking must not change any observable output."""
+
+    def _wide_cells(self, n=36, include_failures=True):
+        # >= 32 cells across several workloads/configs, with a couple of
+        # deterministic failures sprinkled in so the ledger is exercised.
+        names = ("rawcaudio", "gsmdec", "rawdaudio", "gsmenc")
+        cells = [SweepCell(key=(name, n_clusters, repeat), workload=name,
+                           n_clusters=n_clusters, length=LEN,
+                           seed=repeat)
+                 for name in names
+                 for n_clusters in (1, 2, 4)
+                 for repeat in range(3)][:n]
+        if include_failures:
+            cells.insert(5, SweepCell(key="bad-1", workload="nope",
+                                      n_clusters=2, length=LEN))
+            cells.insert(20, SweepCell(key="bad-2", workload="nope",
+                                       n_clusters=4, length=LEN))
+        return cells
+
+    def test_chunked_parallel_bit_identical_to_serial(self):
+        cells = self._wide_cells()
+        assert len(cells) >= 32
+        serial_ledger, parallel_ledger = ErrorLedger(), ErrorLedger()
+        serial = run_cells(cells, jobs=1, ledger=serial_ledger)
+        parallel = run_cells(cells, jobs=2, ledger=parallel_ledger)
+        assert list(serial.keys()) == list(parallel.keys())
+        for key in serial:
+            assert serial[key].to_dict() == parallel[key].to_dict()
+        assert serial_ledger.entries == parallel_ledger.entries
+
+    def test_explicit_chunksize_changes_nothing(self):
+        cells = self._wide_cells(12, include_failures=False)
+        serial = run_cells(cells, jobs=1)
+        for chunksize in (1, 3, 64):
+            chunked = run_cells(cells, jobs=2, chunksize=chunksize)
+            assert list(serial.keys()) == list(chunked.keys())
+            for key in serial:
+                assert serial[key].to_dict() == chunked[key].to_dict()
+
+    def test_heuristic_four_chunks_per_worker(self):
+        assert resolve_chunksize(None, 48, 2) == 6
+        assert resolve_chunksize(None, 48, 6) == 2
+        assert resolve_chunksize(None, 3, 8) == 1
+        assert resolve_chunksize(None, 0, 0) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "17")
+        assert resolve_chunksize(None, 48, 2) == 17
+        assert resolve_chunksize(5, 48, 2) == 5
+
+    def test_malformed_env_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "lots")
+        with pytest.raises(ConfigError, match="REPRO_CHUNKSIZE"):
+            resolve_chunksize(None, 10, 2)
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        with pytest.raises(ConfigError, match=">= 1"):
+            resolve_chunksize(None, 10, 2)
+        with pytest.raises(ConfigError, match=">= 1"):
+            resolve_chunksize(-3, 10, 2)
+
+
+class TestWorkerPool:
+    def test_reused_pool_matches_serial_across_calls(self):
+        cells = _cells()
+        serial = run_cells(cells, jobs=1)
+        with WorkerPool(jobs=2) as pool:
+            first = run_cells(cells, pool=pool)
+            second = run_cells(cells, pool=pool)
+            assert pool.started  # one executor served both sweeps
+        for key in serial:
+            assert serial[key].to_dict() == first[key].to_dict()
+            assert serial[key].to_dict() == second[key].to_dict()
+
+    def test_context_registers_default_pool(self):
+        assert active_pool() is None
+        with WorkerPool(jobs=2) as pool:
+            assert active_pool() is pool
+            # Drivers pick the pool up without parameter threading.
+            results = run_cells(_cells())
+            assert pool.started
+        assert active_pool() is None
+        serial = run_cells(_cells(), jobs=1)
+        for key in serial:
+            assert serial[key].to_dict() == results[key].to_dict()
+
+    def test_serial_pool_never_spawns_processes(self):
+        with WorkerPool(jobs=1) as pool:
+            run_cells(_cells())
+            assert not pool.started
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(jobs=2)
+        pool.close()
+        with pytest.raises(ConfigError, match="closed"):
+            pool.map(len, [(1,), (2,)])
+
+    def test_graceful_sweep_uses_active_pool(self):
+        kwargs = dict(workloads=["rawcaudio"], length=300,
+                      configs=[(1, "none", "baseline"),
+                               (2, "stride", "vpb")])
+        serial = run_graceful_sweep(jobs=1, **kwargs)
+        with WorkerPool(jobs=2) as pool:
+            pooled = run_graceful_sweep(**kwargs)
+            assert pool.started
+        assert serial.ipc == pooled.ipc
+        assert serial.ledger.entries == pooled.ledger.entries
 
 
 class TestEnvValidation:

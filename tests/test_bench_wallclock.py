@@ -1,0 +1,31 @@
+"""Unit coverage for the wall-clock benchmark's reporting helpers.
+
+The full benchmark is exercised by ``make bench-smoke`` /
+``make bench-wallclock``; here we only pin the arithmetic that feeds
+BENCH_sweep.json, in particular that a degenerate (zero-duration)
+parallel timing yields *no* speedup figure rather than a fake 0.0x.
+"""
+
+import pathlib
+import sys
+
+BENCH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH))
+
+from bench_wallclock import rate_of, speedup_of  # noqa: E402
+
+
+def test_speedup_is_ratio():
+    assert speedup_of(6.0, 3.0) == 2.0
+
+
+def test_zero_parallel_time_yields_no_speedup():
+    # A sub-resolution timer reading must not be reported as 0.0x
+    # (which would read as "parallel infinitely slower").
+    assert speedup_of(6.0, 0.0) is None
+    assert speedup_of(6.0, -1.0) is None
+
+
+def test_rate_guards_zero_duration():
+    assert rate_of(1000, 2.0) == 500.0
+    assert rate_of(1000, 0.0) is None

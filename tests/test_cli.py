@@ -53,3 +53,103 @@ def test_parser_lists_all_commands():
     for command in ("figure2", "figure3", "figure4a", "figure4b",
                     "figure5", "headline", "ablations", "simulate"):
         assert command in text
+
+
+class TestCrashTraceFlush:
+    """A simulation that dies mid-run must still leave a complete trace
+    on disk: the buffered sinks are the flight recorder for exactly
+    that crash."""
+
+    def _crashing_simulate(self, events_before_crash=3):
+        from repro.errors import SimulationError
+
+        def fake(trace, config, tracer=None, **kwargs):
+            for seq in range(events_before_crash):
+                tracer.fetch(cycle=seq, seq=seq, pc=seq * 4)
+            raise SimulationError("deadlock at cycle 3")
+
+        return fake
+
+    def test_jsonl_sink_flushed_when_simulate_raises(
+            self, tmp_path, monkeypatch, capsys):
+        import json
+        monkeypatch.setattr("repro.cli.simulate",
+                            self._crashing_simulate())
+        out = tmp_path / "crash.jsonl"
+        code = main(["simulate", "rawcaudio", "--length", "500",
+                     "--trace-out", str(out)])
+        assert code == 1
+        assert "simulation error" in capsys.readouterr().err
+        lines = out.read_text().splitlines()
+        # Schema header plus every event emitted before the crash,
+        # despite the JsonlSink's internal buffering.
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-trace-v1"
+        assert len(lines) == 1 + 3
+        assert [json.loads(line)["cycle"] for line in lines[1:]] \
+            == [0, 1, 2]
+
+    def test_chrome_sink_flushed_when_simulate_raises(
+            self, tmp_path, monkeypatch):
+        import json
+        monkeypatch.setattr("repro.cli.simulate",
+                            self._crashing_simulate())
+        out = tmp_path / "crash.json"
+        assert main(["simulate", "rawcaudio", "--length", "500",
+                     "--trace-out", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        # The Chrome trace accumulates in memory; without the flush the
+        # file would not exist at all after a crash.
+        assert doc["traceEvents"]
+
+    def test_healthy_simulate_still_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "ok.jsonl"
+        assert main(["simulate", "rawcaudio", "--length", "500",
+                     "--trace-out", str(out)]) == 0
+        assert "events" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) > 1
+
+
+class TestCacheCli:
+    def test_figure_cold_then_warm_via_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["figure5", "--workloads", "rawcaudio", "--length",
+                "1000", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hit(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 miss(es)" in warm and "0 hit(s)" not in warm
+        # The figure table itself is identical either way.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("cache:")]
+        assert strip(cold) == strip(warm)
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main(["figure5", "--workloads", "rawcaudio", "--length", "1000",
+              "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        stats = capsys.readouterr().out
+        assert str(cache_dir) in stats
+        assert main(["cache", "clear", "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "0 entr" in capsys.readouterr().out
+
+    def test_empty_cache_dir_is_usage_error(self, capsys):
+        assert main(["cache", "stats", "--cache-dir", "   "]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+def test_campaign_accepts_jobs_flag(tmp_path, capsys):
+    code = main(["campaign", "--workloads", "rawcaudio", "--length",
+                 "1500", "--seeds", "1", "--jobs", "2",
+                 "--output", str(tmp_path / "report.txt")])
+    assert code == 0
+    assert "detection" in capsys.readouterr().out.lower()

@@ -28,8 +28,10 @@ bench-wallclock:
 	$(PYTHON) benchmarks/bench_wallclock.py
 
 # Sub-minute sweep gate (docs/PERFORMANCE.md): chunked warm-pool
-# parallel must beat serial on multi-core hosts, and a cold -> warm
-# cache cycle must rerun with zero simulations — all metric-identical.
+# parallel must beat serial on multi-core hosts, a cold -> warm cache
+# cycle must rerun with zero simulations — all metric-identical — and
+# serial insts/s must stay within 20% of this host's best recorded
+# smoke_guard entry in BENCH_sweep.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
 
@@ -42,7 +44,9 @@ cache-clear:
 
 # Observability gate (docs/OBSERVABILITY.md): traced runs must stay
 # bit-identical to untraced ones, trace files must validate against
-# their schemas, and ring-buffer tracing must cost < 10% wall-clock.
+# their schemas, ring-buffer tracing must cost < 10% wall-clock, and a
+# run with observability off must not allocate in any repro.obs module
+# (tracemalloc audit).
 obs-check:
 	$(PYTHON) benchmarks/obs_check.py
 

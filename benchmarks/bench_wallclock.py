@@ -8,7 +8,8 @@ simulated-instructions-per-second into ``BENCH_sweep.json`` at the repo
 root (the perf trajectory file; each entry is appended, so the history
 survives re-runs).
 
-Each entry also carries the dispatch chunk size
+Each entry also carries provenance (git commit, UTC timestamp, python
+version — see :func:`provenance`), the dispatch chunk size
 (``repro.analysis.parallel.resolve_chunksize``), the pool-reuse and
 cache sections, the serial run's per-cell wall-clock costs (the slowest
 cells, from ``run_cells(timings=...)``) and a tracer overhead section
@@ -30,9 +31,12 @@ to zero records no ``speedup`` at all (``None`` would read as
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import pathlib
+import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -83,6 +87,39 @@ def rate_of(insts: int, seconds: float) -> Optional[float]:
     if seconds <= 0.0:
         return None
     return round(insts / seconds, 1)
+
+
+def provenance() -> dict:
+    """Where and when this entry was measured.
+
+    The git commit (plus a ``-dirty`` suffix for uncommitted changes),
+    a UTC timestamp and the interpreter version make every trajectory
+    entry attributable after the fact; without them a regression in the
+    history cannot be tied to the change that caused it.  Entries
+    recorded outside a git checkout carry ``"commit": null``.
+    """
+    commit = None
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=repo_root,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+        if commit is not None:
+            dirty = subprocess.run(
+                ["git", "status", "--porcelain"], cwd=repo_root,
+                capture_output=True, text=True, timeout=10,
+            ).stdout.strip()
+            if dirty:
+                commit += "-dirty"
+    except (OSError, subprocess.TimeoutExpired):
+        commit = None
+    timestamp = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "commit": commit,
+        "timestamp_utc": timestamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+    }
 
 
 def timed_run(cells, jobs: int, timings=None, cache=None):
@@ -175,6 +212,7 @@ def _main() -> int:
     speedup = speedup_of(serial_s, parallel_s)
     entry = {
         "benchmark": "sweep_wallclock",
+        **provenance(),
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "chunksize": chunksize,

@@ -13,6 +13,10 @@ docs/OBSERVABILITY.md:
    passes :func:`repro.obs.schema.validate_chrome_trace`.
 4. **Overhead** — ring-buffer tracing costs < 10% wall-clock over the
    untraced run (interleaved min-of-N timing to filter host noise).
+5. **Zero-cost when off** — an untraced, unmetered run performs *no*
+   allocation from any ``repro.obs`` module (tracemalloc audit): the
+   disabled hooks must stay behind their ``is not None`` guards, so
+   turning observability off really removes it from the hot loop.
 
 Exit code 0 when every check passes, 1 otherwise.  The tier-1 test
 suite runs :func:`run_checks` directly, so a regression in any of
@@ -28,6 +32,7 @@ import pathlib
 import sys
 import tempfile
 import time
+import tracemalloc
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
@@ -76,6 +81,33 @@ def _measure_overhead(trace, config, repeats: int):
     return untraced_s, ring_s, ring_s / untraced_s - 1.0
 
 
+def _obs_off_allocations(trace, config):
+    """Bytes allocated from ``repro.obs`` modules by an untraced run.
+
+    With the tracer and interval metrics both disabled every obs hook
+    sits behind an ``is not None`` guard, so a hot-loop simulation must
+    not execute — let alone allocate in — any ``repro.obs`` code.  A
+    non-zero figure means a hook escaped its guard (the regression this
+    gate exists to catch: "disabled observability costs nothing").
+    tracemalloc attributes every allocation to the source file that
+    made it, which pins the offender directly.
+    """
+    obs_dir = os.path.join("repro", "obs") + os.sep
+    gc.collect()
+    tracemalloc.start()
+    try:
+        simulate(list(trace), config)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    offenders = {}
+    for stat in snapshot.statistics("filename"):
+        filename = stat.traceback[0].filename
+        if obs_dir in filename:
+            offenders[os.path.basename(filename)] = stat.size
+    return offenders
+
+
 def run_checks(length: int = 4000, repeats: int = 5,
                overhead_budget: float = OVERHEAD_BUDGET,
                check_overhead: bool = True) -> list:
@@ -102,6 +134,13 @@ def run_checks(length: int = 4000, repeats: int = 5,
                        overhead < overhead_budget,
                        f"{overhead:+.1%} ({untraced_s:.3f}s -> "
                        f"{ring_s:.3f}s)"))
+
+    offenders = _obs_off_allocations(trace, config)
+    checks.append(("obs-off allocates nothing in repro.obs",
+                   not offenders,
+                   "no obs-module allocations" if not offenders else
+                   ", ".join(f"{name}: {size}B"
+                             for name, size in sorted(offenders.items()))))
 
     base = simulate(list(trace), config)
     ring_tracer = EventTracer(RingBufferSink())

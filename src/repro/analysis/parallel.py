@@ -48,6 +48,7 @@ harness hiccups, injected-fault trips) are retried.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 import zlib
@@ -120,8 +121,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
     Explicit *jobs* wins; ``jobs=0`` (or ``REPRO_JOBS=0``) means "all
     cores".  With neither given, the sweep runs serially (1 job) — the
-    historical behaviour.  Malformed values raise
-    :class:`~repro.errors.ConfigError`.
+    historical behaviour.  A request above the machine's core count is
+    clamped to it (with a logged warning): oversubscribed workers just
+    time-slice one another, which adds scheduler churn and pickle
+    queues without adding throughput (the BENCH_sweep.json
+    ``jobs=2``-on-one-core entries measured exactly that).  Malformed
+    values raise :class:`~repro.errors.ConfigError`.
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS")
@@ -135,8 +140,15 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 f"got {raw!r}") from None
     if jobs < 0:
         raise ConfigError(f"job count must be >= 0, got {jobs}")
+    cores = os.cpu_count() or 1
     if jobs == 0:
-        jobs = os.cpu_count() or 1
+        jobs = cores
+    elif jobs > cores:
+        logging.getLogger(__name__).warning(
+            "requested %d sweep jobs but only %d CPU core%s available; "
+            "clamping to %d", jobs, cores, "" if cores == 1 else "s",
+            cores)
+        jobs = cores
     return jobs
 
 

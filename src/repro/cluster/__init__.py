@@ -2,8 +2,8 @@
 
 from .cluster import Cluster
 from .functional_unit import DEFAULT_LATENCIES, FUPool
-from .issue_queue import IssueQueue
+from .issue_queue import IssueQueue, NEXT_TRY_IDLE
 from .register_file import NEVER, RegisterFile
 
 __all__ = ["Cluster", "DEFAULT_LATENCIES", "FUPool", "IssueQueue",
-           "NEVER", "RegisterFile"]
+           "NEVER", "NEXT_TRY_IDLE", "RegisterFile"]

@@ -45,7 +45,22 @@ class FUPool:
 
     Call :meth:`begin_cycle` once per cycle, then :meth:`try_issue` for
     each candidate; ``try_issue`` reserves the resources on success.
+
+    The opclass → (side, muldiv, div, latency) classification is folded
+    into a per-instance descriptor table at construction, and the count
+    of units occupied by in-flight non-pipelined divides is computed once
+    per cycle (divides issue rarely; the busy count only changes at
+    ``begin_cycle`` or when a divide claims a unit mid-cycle).
     """
+
+    __slots__ = ("int_units", "int_muldiv", "fp_units", "fp_muldiv",
+                 "int_width", "fp_width", "latencies", "_desc",
+                 "_idiv_busy", "_fdiv_busy", "_cycle",
+                 "_int_issued", "_fp_issued",
+                 "_int_units_used", "_fp_units_used",
+                 "_imuldiv_used", "_fmuldiv_used",
+                 "_idiv_busy_now", "_fdiv_busy_now",
+                 "_idiv_max_until", "_fdiv_max_until")
 
     def __init__(self, int_units: int, int_muldiv: int,
                  fp_units: int, fp_muldiv: int,
@@ -62,6 +77,15 @@ class FUPool:
         self.latencies = dict(DEFAULT_LATENCIES)
         if latencies:
             self.latencies.update(latencies)
+        #: opclass -> (is_int_side, is_muldiv, is_div, latency)
+        self._desc: Dict[OpClass, tuple] = {
+            oc: (oc in _INT_SIDE,
+                 oc in (OpClass.IMUL, OpClass.IDIV,
+                        OpClass.FMUL, OpClass.FDIV),
+                 oc in (OpClass.IDIV, OpClass.FDIV),
+                 self.latencies[oc])
+            for oc in self.latencies
+        }
         # Non-pipelined divides occupy one mul/div-capable unit each.
         self._idiv_busy: List[int] = [0] * int_muldiv
         self._fdiv_busy: List[int] = [0] * fp_muldiv
@@ -72,6 +96,14 @@ class FUPool:
         self._fp_units_used = 0
         self._imuldiv_used = 0
         self._fmuldiv_used = 0
+        self._idiv_busy_now = 0
+        self._fdiv_busy_now = 0
+        # Latest cycle through which any claimed divide unit stays busy;
+        # while `cycle >= max_until` every unit is free and begin_cycle
+        # skips the per-unit scan (divides are rare, so this is the
+        # steady state).
+        self._idiv_max_until = 0
+        self._fdiv_max_until = 0
 
     # -- per-cycle bookkeeping ---------------------------------------------------
 
@@ -84,10 +116,16 @@ class FUPool:
         self._fp_units_used = 0
         self._imuldiv_used = 0
         self._fmuldiv_used = 0
-
-    def _busy_divs(self, busy: List[int]) -> int:
-        cycle = self._cycle
-        return sum(1 for until in busy if until > cycle)
+        if cycle < self._idiv_max_until:
+            self._idiv_busy_now = sum(
+                1 for until in self._idiv_busy if until > cycle)
+        else:
+            self._idiv_busy_now = 0
+        if cycle < self._fdiv_max_until:
+            self._fdiv_busy_now = sum(
+                1 for until in self._fdiv_busy if until > cycle)
+        else:
+            self._fdiv_busy_now = 0
 
     # -- queries -----------------------------------------------------------------
 
@@ -110,10 +148,10 @@ class FUPool:
         both the remaining issue width and the remaining units.
         """
         if int_side:
-            units_left = (self.int_units - self._busy_divs(self._idiv_busy)
+            units_left = (self.int_units - self._idiv_busy_now
                           - self._int_units_used)
             return max(0, min(self.int_width_left(), units_left))
-        units_left = (self.fp_units - self._busy_divs(self._fdiv_busy)
+        units_left = (self.fp_units - self._fdiv_busy_now
                       - self._fp_units_used)
         return max(0, min(self.fp_width_left(), units_left))
 
@@ -121,34 +159,36 @@ class FUPool:
 
     def try_issue(self, opclass: OpClass) -> bool:
         """Reserve width + unit for one instruction; True on success."""
-        if opclass in _INT_SIDE:
+        is_int, is_muldiv, is_div, latency = self._desc[opclass]
+        if is_int:
             if self._int_issued >= self.int_width:
                 return False
-            busy = self._busy_divs(self._idiv_busy)
+            busy = self._idiv_busy_now
             if self._int_units_used >= self.int_units - busy:
                 return False
-            if opclass in (OpClass.IMUL, OpClass.IDIV):
+            if is_muldiv:
                 if self._imuldiv_used >= self.int_muldiv - busy:
                     return False
                 self._imuldiv_used += 1
-                if opclass is OpClass.IDIV:
-                    self._claim_div(self._idiv_busy,
-                                    self.latencies[OpClass.IDIV])
+                if is_div:
+                    self._claim_div(self._idiv_busy, latency)
+                    self._idiv_busy_now += 1
             self._int_issued += 1
             self._int_units_used += 1
             return True
         # fp side
         if self._fp_issued >= self.fp_width:
             return False
-        busy = self._busy_divs(self._fdiv_busy)
+        busy = self._fdiv_busy_now
         if self._fp_units_used >= self.fp_units - busy:
             return False
-        if opclass in (OpClass.FMUL, OpClass.FDIV):
+        if is_muldiv:
             if self._fmuldiv_used >= self.fp_muldiv - busy:
                 return False
             self._fmuldiv_used += 1
-            if opclass is OpClass.FDIV:
-                self._claim_div(self._fdiv_busy, self.latencies[OpClass.FDIV])
+            if is_div:
+                self._claim_div(self._fdiv_busy, latency)
+                self._fdiv_busy_now += 1
         self._fp_issued += 1
         self._fp_units_used += 1
         return True
@@ -169,7 +209,13 @@ class FUPool:
         cycle = self._cycle
         for i, until in enumerate(busy):
             if until <= cycle:
-                busy[i] = cycle + latency
+                freed = cycle + latency
+                busy[i] = freed
+                if busy is self._idiv_busy:
+                    if freed > self._idiv_max_until:
+                        self._idiv_max_until = freed
+                elif freed > self._fdiv_max_until:
+                    self._fdiv_max_until = freed
                 return
         raise RuntimeError("divide issued with no free unit "
                            "(try_issue accounting bug)")

@@ -22,6 +22,8 @@ NEVER = 1 << 60
 class RegisterFile:
     """Ready-time scoreboard over ``n_pregs`` physical registers."""
 
+    __slots__ = ("n_pregs", "ready", "producer", "waiters")
+
     def __init__(self, n_pregs: int) -> None:
         if n_pregs <= 0:
             raise ValueError("register file size must be positive")
@@ -30,9 +32,10 @@ class RegisterFile:
         self.producer: List[Optional[object]] = [None] * n_pregs
         #: Issue-stage wakeup: uops parked on a register's readiness.
         #: ``set_ready`` lowers each waiter's ``wake_cycle`` to the new
-        #: ready cycle and drops the list; a stale entry (the waiter
-        #: issued or was invalidated meanwhile) only triggers a harmless
-        #: extra scan, never a wrong skip.
+        #: ready cycle (and its issue queue's ``next_try`` bound through
+        #: the ``Uop.iq`` back-reference) and drops the list; a stale
+        #: entry (the waiter issued or was invalidated meanwhile) only
+        #: triggers a harmless extra scan, never a wrong skip.
         self.waiters: Dict[int, List[object]] = {}
 
     def add_waiter(self, preg: int, uop) -> None:
@@ -49,6 +52,9 @@ class RegisterFile:
             for uop in waiters:
                 if cycle < uop.wake_cycle:
                     uop.wake_cycle = cycle
+                    iq = uop.iq
+                    if iq is not None and cycle < iq.next_try:
+                        iq.next_try = cycle
 
     def set_pending(self, preg: int, producer) -> None:
         """*preg* is allocated but its value is still being produced."""
@@ -74,3 +80,6 @@ class RegisterFile:
         if waiters:
             for uop in waiters:
                 uop.wake_cycle = 0
+                iq = uop.iq
+                if iq is not None:
+                    iq.next_try = 0

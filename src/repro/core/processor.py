@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..cluster import Cluster, FUPool, NEVER
+from ..cluster import Cluster, FUPool, NEVER, NEXT_TRY_IDLE
 from ..errors import ConfigError, SimulationError
 from ..frontend import (BranchTargetBuffer, CombinedPredictor,
                         FetchEngine, FetchedInst)
@@ -44,6 +44,7 @@ from ..obs.tracer import POSTMORTEM_WINDOW
 from ..predictor import (ContextPredictor, HybridPredictor, NullPredictor,
                          PerfectPredictor, StridePredictor, ValuePredictor)
 from ..rename import RenameUnit
+from ..rename.renamer import FP_BANK, INT_BANK
 from ..steering import (BalanceOnlySteerer, BaselineSteerer, DCountTracker,
                         DependenceOnlySteerer, ModifiedSteerer, NReadyMeter,
                         RoundRobinSteerer, SourceView, StaticSteerer,
@@ -193,6 +194,16 @@ class Processor:
         # data value (the store-queue data side).
         self._stores_awaiting_data: List[Uop] = []
         self._dports_used = 0
+        # Hot-path views, hoisted once: the decode loop reads the map
+        # table and the ready scoreboards for every source operand of
+        # every instruction, so it indexes these directly instead of
+        # chasing renamer -> map_table -> _map (and cluster -> regfile
+        # -> ready) method chains per operand.
+        self._map_rows = self.renamer.map_table._map
+        self._ready_arrays = [cl.regfile.ready for cl in self.clusters]
+        # The zero register's steering view never changes; share one.
+        self._zero_view = SourceView(ZERO_REG, False, True, frozenset(),
+                                     None, False)
         self.cycle = 0
         self.watchdog = PipelineWatchdog(config.deadlock_cycles,
                                          self.pipeline_snapshot)
@@ -208,19 +219,24 @@ class Processor:
         return self._finalize()
 
     def _run_plain(self, max_cycles: Optional[int]) -> None:
-        """The uninstrumented (and profiler-free) timing loop."""
+        """The uninstrumented (and profiler-free) timing loop.
+
+        Per-cycle work is kept to the stage calls themselves; everything
+        skippable inside the stages is gated by the event-driven wake
+        machinery (``_events``, the queues' ``next_try`` bounds), so an
+        idle stage costs one comparison, not a scan.
+        """
         watchdog = self.watchdog
         metrics = self.metrics
         interval = metrics.interval if metrics is not None else 0
-        while not (self.fetch.done and not self.rob):
+        fetch = self.fetch
+        while not (fetch.done and not self.rob):
             cycle = self.cycle
             if max_cycles is not None and cycle >= max_cycles:
                 break
             if metrics is not None and cycle and cycle % interval == 0:
                 metrics.sample(self, cycle)
             self._dports_used = 0
-            for cluster in self.clusters:
-                cluster.fupool.begin_cycle(cycle)
             self._process_events(cycle)
             self._drain_store_data(cycle)
             if self._commit(cycle):
@@ -229,10 +245,10 @@ class Processor:
                 watchdog.check(cycle)
             self._issue(cycle)
             self._decode(cycle)
-            self.fetch.tick(cycle)
+            fetch.tick(cycle)
             if cycle and cycle % 8192 == 0:
                 self.interconnect.prune(cycle)
-            self.cycle += 1
+            self.cycle = cycle + 1
 
     def _run_profiled(self, max_cycles: Optional[int]) -> None:
         """The same loop with host wall-clock attribution per stage.
@@ -257,8 +273,6 @@ class Processor:
             if metrics is not None and cycle and cycle % interval == 0:
                 metrics.sample(self, cycle)
             self._dports_used = 0
-            for cluster in self.clusters:
-                cluster.fupool.begin_cycle(cycle)
             t1 = clock()
             seconds["other"] += t1 - t0
             self._process_events(cycle)
@@ -381,7 +395,12 @@ class Processor:
     # ----------------------------------------------------------- writeback --
 
     def _schedule(self, cycle: int, event: tuple) -> None:
-        self._events.setdefault(cycle, []).append(event)
+        events = self._events
+        queued = events.get(cycle)
+        if queued is None:
+            events[cycle] = [event]
+        else:
+            queued.append(event)
 
     def _process_events(self, cycle: int) -> None:
         events = self._events.pop(cycle, None)
@@ -554,17 +573,6 @@ class Processor:
 
     # ----------------------------------------------------------------- issue --
 
-    def _operand_ready(self, uop: Uop, operand: Operand, cycle: int) -> bool:
-        mode = operand.mode
-        if mode == MODE_LOCAL:
-            regfile = self.clusters[uop.cluster].regfile
-            return regfile.ready[operand.preg] <= cycle
-        if mode == MODE_PRED:
-            return True
-        if mode == MODE_FWD:
-            return operand.ready_override <= cycle
-        return True  # MODE_ZERO
-
     def _load_disambiguated(self, uop: Uop) -> bool:
         """Loads wait until every prior store's address is known (Table 1)."""
         pending = self._pending_store_addrs
@@ -599,145 +607,319 @@ class Processor:
         for store in self._stores_awaiting_data:
             if store.state != STATE_ISSUED:
                 continue  # invalidated; it will re-issue and re-enqueue
-            if self._operand_ready(store, store.operands[0], cycle):
+            operand = store.operands[0]
+            mode = operand.mode
+            if mode == MODE_LOCAL:
+                ok = (self.clusters[store.cluster].regfile.ready[operand.preg]
+                      <= cycle)
+            elif mode == MODE_FWD:
+                ok = operand.ready_override <= cycle
+            else:
+                ok = True  # MODE_PRED / MODE_ZERO
+            if ok:
                 self._complete(store, cycle)
             else:
                 still_waiting.append(store)
         self._stores_awaiting_data = still_waiting
 
     def _issue(self, cycle: int) -> None:
-        leftover_int = [0] * self.config.n_clusters
-        leftover_fp = [0] * self.config.n_clusters
-        occupancy = self.stats.iq_occupancy_sum
+        """Oldest-first issue over the per-cluster/per-side queues.
+
+        Queues are scanned *batched*: each :class:`IssueQueue` carries a
+        ``next_try`` lower bound on the earliest cycle any of its
+        entries could issue, so a queue whose uops are all sleeping (or
+        which is empty) costs one comparison per cycle instead of a
+        linear rescan.  Within a scanned queue the entry walk, the issue
+        attempts and their order are exactly the linear scan's, so the
+        committed stream is bit-identical (golden co-sim verified; see
+        tests/core/test_wake_invariant.py for the property test).
+
+        The per-uop issue attempt (operand readiness, parking on the
+        register-file waiter lists, per-kind resource checks) is inlined
+        here: it runs several times per simulated instruction and the
+        call overhead dominated the host profile.  An operand-blocked
+        uop is parked with ``wake_cycle`` = a lower bound on its next
+        possible issue cycle (finite scheduled ready cycles bound
+        directly; unscheduled registers park it on the waiter list and
+        ``set_ready`` lowers the bound later); a resource-blocked uop
+        (width/FU capacity, D-cache port, interconnect path, load
+        disambiguation) retries next cycle.  Parking consumes no shared
+        resource, so it cannot perturb any other uop's issue.
+
+        Functional-unit pools are reset lazily (first use per cycle):
+        an idle cluster's pool costs nothing.
+        """
+        leftover_int: Optional[List[int]] = None
+        leftover_fp: Optional[List[int]] = None
+        stats = self.stats
+        occupancy = stats.iq_occupancy_sum
+        issued_per_cluster = stats.issued_per_cluster
+        tracer = self._tracer
+        events = self._events
+        data_latency = self.memory.data_latency
+        config = self.config
+        free_copies = config.free_copy_issue
+        dcache_ports = config.dcache_ports
+        interconnect = self.interconnect
+        cycle1 = cycle + 1
         for cluster in self.clusters:
             cid = cluster.cluster_id
             occupancy[cid] += cluster.occupancy
+            regfile = cluster.regfile
+            ready = regfile.ready
+            waiters = regfile.waiters
+            producers = regfile.producer
+            fupool = cluster.fupool
             for int_side in (True, False):
-                queue = cluster.iq_for(int_side)
-                if not len(queue):
+                queue = cluster.iq_int if int_side else cluster.iq_fp
+                entries = queue._entries
+                if not entries or queue.next_try > cycle:
                     continue
-                issued: List[Uop] = []
-                for uop in queue:
+                if fupool._cycle != cycle:
+                    fupool.begin_cycle(cycle)
+                # Reset the bound before scanning: a uop issuing during
+                # this scan can wake an already-visited entry of this
+                # same queue (``set_ready`` lowers ``queue.next_try``
+                # through the ``Uop.iq`` backref), so the bound we
+                # recompute below must min-merge with whatever the wake
+                # hooks left here, never overwrite it.
+                queue.next_try = NEXT_TRY_IDLE
+                bound = NEXT_TRY_IDLE
+                # `kept` forks lazily off `entries` at the first issued
+                # (dropped) uop; scans that issue nothing leave the
+                # entry list untouched.
+                kept: Optional[List[Uop]] = None
+                for i, uop in enumerate(entries):
                     if uop.state != STATE_WAITING:
+                        # Defensive (queues only hold WAITING uops in
+                        # steady state): retry next cycle.
+                        if kept is not None:
+                            kept.append(uop)
+                        if cycle1 < bound:
+                            bound = cycle1
                         continue
-                    if uop.min_issue_cycle > cycle or uop.wake_cycle > cycle:
+                    mi = uop.min_issue_cycle
+                    wc = uop.wake_cycle
+                    if mi > cycle or wc > cycle:
+                        if kept is not None:
+                            kept.append(uop)
+                        b = mi if mi > wc else wc
+                        if b < bound:
+                            bound = b
                         continue
-                    blocked = self._try_issue_uop(uop, cluster, cycle)
-                    if blocked is None:
-                        issued.append(uop)
-                    elif blocked == "capacity" and uop.kind == KIND_INST:
-                        if int_side:
-                            leftover_int[cid] += 1
+                    # ---- operand readiness (park when blocked) ----
+                    if uop.is_store:
+                        # Address generation needs only the base operand
+                        # (srcs are (value, base)); the data value is
+                        # collected in the store queue afterwards (§2.4:
+                        # "loads may execute when prior store addresses
+                        # are known").
+                        operand = uop.operands[1]
+                        mode = operand.mode
+                        blocking = None
+                        if mode == MODE_LOCAL:
+                            if ready[operand.preg] > cycle:
+                                blocking = (operand,)
+                        elif mode == MODE_FWD:
+                            if operand.ready_override > cycle:
+                                blocking = (operand,)
+                    else:
+                        blocking = None
+                        for operand in uop.operands:
+                            mode = operand.mode
+                            if mode == MODE_LOCAL:
+                                if ready[operand.preg] > cycle:
+                                    if blocking is None:
+                                        blocking = [operand]
+                                    else:
+                                        blocking.append(operand)
+                            elif mode == MODE_FWD:
+                                if operand.ready_override > cycle:
+                                    if blocking is None:
+                                        blocking = [operand]
+                                    else:
+                                        blocking.append(operand)
+                    if blocking is not None:
+                        b = cycle1
+                        for operand in blocking:
+                            if operand.mode == MODE_LOCAL:
+                                preg = operand.preg
+                                r = ready[preg]
+                                w = waiters.get(preg)
+                                if w is None:
+                                    waiters[preg] = [uop]
+                                elif w[-1] is not uop:
+                                    w.append(uop)
+                                if r > b:
+                                    b = r
+                            elif operand.ready_override > b:
+                                b = operand.ready_override
+                        uop.wake_cycle = b
+                        if kept is not None:
+                            kept.append(uop)
+                        if b < bound:
+                            bound = b
+                        continue
+                    # ---- per-kind resource checks + issue ----
+                    kind = uop.kind
+                    if kind == KIND_INST:
+                        is_load = uop.is_load
+                        if is_load:
+                            if (not self._load_disambiguated(uop)
+                                    or ((forward := self._forwarding_store(
+                                        uop)) is not None
+                                        and forward.state != STATE_DONE)
+                                    or self._dports_used >= dcache_ports):
+                                # Disambiguation / same-address store
+                                # data / D-cache port: retry next cycle.
+                                if kept is not None:
+                                    kept.append(uop)
+                                if cycle1 < bound:
+                                    bound = cycle1
+                                continue
+                        opclass = uop.opclass
+                        if not fupool.try_issue(opclass):
+                            if kept is not None:
+                                kept.append(uop)
+                            if cycle1 < bound:
+                                bound = cycle1
+                            if int_side:
+                                if leftover_int is None:
+                                    leftover_int = [0] * config.n_clusters
+                                leftover_int[cid] += 1
+                            else:
+                                if leftover_fp is None:
+                                    leftover_fp = [0] * config.n_clusters
+                                leftover_fp[cid] += 1
+                            continue
+                        # -- _issue_inst, inlined against the scan locals
+                        # (regfile/ready/producers ARE this uop's cluster
+                        # state; `forward` reuses the guard's lookup, which
+                        # is pure).  Side-effect order matches the original
+                        # helper: latency, mark-issued, store/dest wiring.
+                        dyn = uop.dyn
+                        latency = fupool.latencies[opclass]
+                        if is_load:
+                            self._dports_used += 1
+                            if forward is not None:
+                                latency += 1  # store buffer forward
+                                forward.readers.append(uop)
+                            else:
+                                latency += data_latency(dyn.mem_addr)
+                        uop.state = STATE_ISSUED
+                        uop.issue_cycle = cycle
+                        stats.issued_uops += 1
+                        issued_per_cluster[cid] += 1
+                        if tracer is not None:
+                            tracer.counts[EV_ISSUE] += 1
+                            tracer.emit((cycle, EV_ISSUE, uop.order,
+                                         KIND_INST, cid, uop.reissue_count))
+                        # Register with local producers for the
+                        # selective-reissue walk.
+                        for operand in uop.operands:
+                            if operand.mode == MODE_LOCAL:
+                                producer = producers[operand.preg]
+                                if (producer is not None
+                                        and producer is not uop
+                                        and producer.state
+                                        != STATE_COMMITTED):
+                                    producer.readers.append(uop)
+                        event = (_EV_COMPLETE, uop, uop.generation)
+                        if uop.is_store:
+                            self._pending_store_addrs.discard(dyn.seq)
+                            inflight = self._inflight_stores
+                            addr_stores = inflight.get(dyn.mem_addr)
+                            if addr_stores is None:
+                                inflight[dyn.mem_addr] = [uop]
+                            else:
+                                addr_stores.append(uop)
+                            operand = uop.operands[0]
+                            mode = operand.mode
+                            if mode == MODE_LOCAL:
+                                data_ready = ready[operand.preg] <= cycle
+                            elif mode == MODE_FWD:
+                                data_ready = operand.ready_override <= cycle
+                            else:
+                                data_ready = True  # MODE_PRED / MODE_ZERO
+                            if not data_ready:
+                                # Address generated; park until the data
+                                # value arrives (drained once per cycle).
+                                self._stores_awaiting_data.append(uop)
+                            else:
+                                when = cycle + latency
+                                queued = events.get(when)
+                                if queued is None:
+                                    events[when] = [event]
+                                else:
+                                    queued.append(event)
                         else:
-                            leftover_fp[cid] += 1
-                queue.remove_many(issued)
-        idle_int = [c.fupool.idle_capacity(True) for c in self.clusters]
-        idle_fp = [c.fupool.idle_capacity(False) for c in self.clusters]
+                            dest = uop.dest_preg
+                            if dest is not None:
+                                regfile.set_ready(dest, cycle + latency)
+                                producers[dest] = uop
+                            when = cycle + latency
+                            queued = events.get(when)
+                            if queued is None:
+                                events[when] = [event]
+                            else:
+                                queued.append(event)
+                    elif kind == KIND_COPY:
+                        if ((not free_copies
+                             and (fupool.int_width_left() if int_side
+                                  else fupool.fp_width_left()) <= 0)
+                                or not interconnect.try_reserve(
+                                    uop.dest_cluster, cycle1)):
+                            if kept is not None:
+                                kept.append(uop)
+                            if cycle1 < bound:
+                                bound = cycle1
+                            continue
+                        if not free_copies:
+                            fupool.try_issue_copy(not int_side)
+                        self._issue_copy(uop, cycle)
+                    else:  # KIND_VCOPY
+                        if not free_copies and fupool.int_width_left() <= 0:
+                            if kept is not None:
+                                kept.append(uop)
+                            if cycle1 < bound:
+                                bound = cycle1
+                            continue
+                        mismatch = not uop.consumer_operand.correct
+                        if mismatch and not interconnect.try_reserve(
+                                uop.consumer.cluster, cycle1):
+                            if kept is not None:
+                                kept.append(uop)
+                            if cycle1 < bound:
+                                bound = cycle1
+                            continue
+                        if not free_copies:
+                            fupool.try_issue_copy(False)
+                        self._issue_vcopy(uop, cycle, mismatch)
+                    # Issued: drop from the queue.
+                    if kept is None:
+                        kept = entries[:i]
+                if kept is not None:
+                    queue._entries = kept
+                if bound < queue.next_try:
+                    queue.next_try = bound
+        if leftover_int is None and leftover_fp is None:
+            # Nothing capacity-stuck anywhere: NREADY contributes zero
+            # regardless of idle capacities, so skip computing them.
+            self.nready.record_idle()
+            return
+        if leftover_int is None:
+            leftover_int = [0] * config.n_clusters
+        if leftover_fp is None:
+            leftover_fp = [0] * config.n_clusters
+        idle_int = []
+        idle_fp = []
+        for c in self.clusters:
+            fupool = c.fupool
+            if fupool._cycle != cycle:
+                fupool.begin_cycle(cycle)
+            idle_int.append(fupool.idle_capacity(True))
+            idle_fp.append(fupool.idle_capacity(False))
         self.nready.record(leftover_int, idle_int, leftover_fp, idle_fp)
-
-    def _park(self, uop: Uop, blocking: Sequence[Operand],
-              cycle: int) -> None:
-        """Sleep an operand-blocked uop until an operand could be ready.
-
-        The wake cycle is a *lower bound* on the first cycle any of the
-        blocking operands could become usable: a finite scheduled ready
-        cycle bounds directly; an unscheduled register (ready ``NEVER``)
-        parks the uop on the register file's waiter list, and
-        ``set_ready`` lowers the wake cycle when the producer finally
-        schedules a value.  Because wakes only ever lower
-        ``wake_cycle``, a parked uop can never sleep through a cycle at
-        which it could have issued — the issue order, and therefore the
-        committed stream, is identical to the full per-cycle rescan.
-        """
-        regfile = self.clusters[uop.cluster].regfile
-        bound = cycle + 1
-        for operand in blocking:
-            if operand.mode == MODE_LOCAL:
-                ready = regfile.ready[operand.preg]
-                regfile.add_waiter(operand.preg, uop)
-                if ready > bound:
-                    bound = ready
-            elif operand.mode == MODE_FWD:
-                if operand.ready_override > bound:
-                    bound = operand.ready_override
-        uop.wake_cycle = bound
-
-    def _try_issue_uop(self, uop: Uop, cluster: Cluster,
-                       cycle: int) -> Optional[str]:
-        """Attempt issue; returns None on success or the blocking reason.
-
-        Reasons: "operands" (not ready), "capacity" (issue width or FU —
-        the NREADY-relevant case), "port"/"path" (global resources).
-        An operand-blocked uop consumes no shared resource, so parking
-        it (see :meth:`_park`) cannot perturb any other uop's issue.
-        """
-        if uop.is_store:
-            # Address generation needs only the base operand (srcs are
-            # (value, base)); the data value is collected in the store
-            # queue afterwards (§2.4: "loads may execute when prior
-            # store addresses are known").
-            operand = uop.operands[1]
-            if not self._operand_ready(uop, operand, cycle):
-                self._park(uop, (operand,), cycle)
-                return "operands"
-        else:
-            blocking: Optional[List[Operand]] = None
-            for operand in uop.operands:
-                if not self._operand_ready(uop, operand, cycle):
-                    if blocking is None:
-                        blocking = []
-                    blocking.append(operand)
-            if blocking:
-                self._park(uop, blocking, cycle)
-                return "operands"
-        fupool = cluster.fupool
-        if uop.kind == KIND_INST:
-            if uop.is_load:
-                if not self._load_disambiguated(uop):
-                    return "operands"
-                forward = self._forwarding_store(uop)
-                if forward is not None and forward.state != STATE_DONE:
-                    return "operands"  # same-address store data not ready
-                if self._dports_used >= self.config.dcache_ports:
-                    return "port"
-            if not fupool.try_issue(uop.opclass):
-                return "capacity"
-            self._issue_inst(uop, cycle)
-            return None
-        free_copies = self.config.free_copy_issue
-        if uop.kind == KIND_COPY:
-            if not free_copies:
-                width_left = (fupool.int_width_left() if uop.int_side
-                              else fupool.fp_width_left())
-                if width_left <= 0:
-                    return "capacity"
-            if not self.interconnect.try_reserve(uop.dest_cluster,
-                                                 cycle + 1):
-                return "path"
-            if not free_copies:
-                fupool.try_issue_copy(not uop.int_side)
-            self._issue_copy(uop, cycle)
-            return None
-        # KIND_VCOPY
-        if not free_copies and fupool.int_width_left() <= 0:
-            return "capacity"
-        mismatch = not uop.consumer_operand.correct
-        if mismatch and not self.interconnect.try_reserve(
-                uop.consumer.cluster, cycle + 1):
-            return "path"
-        if not free_copies:
-            fupool.try_issue_copy(False)
-        self._issue_vcopy(uop, cycle, mismatch)
-        return None
-
-    def _register_readers(self, uop: Uop) -> None:
-        regfile = self.clusters[uop.cluster].regfile
-        for operand in uop.operands:
-            if operand.mode == MODE_LOCAL:
-                producer = regfile.producer[operand.preg]
-                if (producer is not None and producer is not uop
-                        and producer.state != STATE_COMMITTED):
-                    producer.readers.append(uop)
 
     def _mark_issued(self, uop: Uop, cycle: int) -> None:
         uop.state = STATE_ISSUED
@@ -749,38 +931,16 @@ class Processor:
             tracer.counts[EV_ISSUE] += 1
             tracer.emit((cycle, EV_ISSUE, uop.order, uop.kind,
                          uop.cluster, uop.reissue_count))
-        self._register_readers(uop)
-
-    def _issue_inst(self, uop: Uop, cycle: int) -> None:
-        dyn = uop.dyn
-        fupool = self.clusters[uop.cluster].fupool
-        latency = fupool.latency(uop.opclass)
-        if uop.is_load:
-            self._dports_used += 1
-            forward = self._forwarding_store(uop)
-            if forward is not None:
-                latency += 1  # store buffer forward
-                forward.readers.append(uop)
-            else:
-                latency += self.memory.data_latency(dyn.mem_addr)
-        self._mark_issued(uop, cycle)
-        if uop.is_store:
-            self._pending_store_addrs.discard(dyn.seq)
-            self._inflight_stores.setdefault(dyn.mem_addr, []).append(uop)
-            if self._operand_ready(uop, uop.operands[0], cycle):
-                self._schedule(cycle + latency,
-                               (_EV_COMPLETE, uop, uop.generation))
-            else:
-                # Address generated; park in the store queue until the
-                # data value arrives (drained once per cycle).
-                self._stores_awaiting_data.append(uop)
-            return
-        if uop.dest_preg is not None:
-            regfile = self.clusters[uop.cluster].regfile
-            regfile.set_ready(uop.dest_preg, cycle + latency)
-            regfile.producer[uop.dest_preg] = uop
-        self._schedule(cycle + latency,
-                       (_EV_COMPLETE, uop, uop.generation))
+        # Register this uop with the producers of its local operands so
+        # the selective-reissue walk can find it while it can still be
+        # squashed.
+        producers = self.clusters[uop.cluster].regfile.producer
+        for operand in uop.operands:
+            if operand.mode == MODE_LOCAL:
+                producer = producers[operand.preg]
+                if (producer is not None and producer is not uop
+                        and producer.state != STATE_COMMITTED):
+                    producer.readers.append(uop)
 
     def _issue_copy(self, uop: Uop, cycle: int) -> None:
         """A copy drives the interconnect the cycle after it issues."""
@@ -814,70 +974,6 @@ class Processor:
 
     # ---------------------------------------------------------------- decode --
 
-    def _predictions(self, dyn: DynInst) -> list:
-        """Per-slot value predictions, computed exactly once per DynInst.
-
-        Entries are ``None`` (no confident prediction) or
-        ``(value, correct, injected)`` triples; *injected* marks a
-        prediction corrupted by the fault harness, whose detection must
-        be reported back.
-        """
-        cached = self._vp_cache.get(dyn.seq)
-        if cached is not None:
-            return cached
-        entries: list = []
-        if not self._vp_enabled:
-            entries = [None] * len(dyn.srcs)
-        else:
-            injector = self._injector
-            for slot, logical in enumerate(dyn.srcs):
-                if logical == ZERO_REG or is_fp_reg(logical):
-                    entries.append(None)
-                    continue
-                actual = dyn.src_values[slot]
-                prediction = self.vp.predict(dyn.pc, slot, actual)
-                self.vp.update(dyn.pc, slot, actual)
-                if not prediction.confident:
-                    entries.append(None)
-                    continue
-                value, injected = prediction.value, False
-                if injector is not None:
-                    corrupted = injector.corrupt_prediction(dyn.pc, slot,
-                                                            actual)
-                    if corrupted is not None:
-                        value, injected = corrupted, True
-                entries.append((value, value == actual, injected))
-        self._vp_cache[dyn.seq] = entries
-        return entries
-
-    def _source_view(self, logical: int, predicted: bool,
-                     cycle: int) -> Tuple[SourceView, Optional[int]]:
-        """Build the steering view of one operand.
-
-        Returns the view and the physical-register-bearing "soonest"
-        cluster (also used by rename to pick copy sources).
-        """
-        mapped = self.renamer.mapped_clusters(logical)
-        best_cluster = None
-        best_ready = NEVER + 1
-        for cluster_id in mapped:
-            preg = self.renamer.mapping(logical, cluster_id)
-            ready = self.clusters[cluster_id].regfile.ready[preg]
-            if ready < best_ready:
-                best_ready = ready
-                best_cluster = cluster_id
-            elif ready == best_ready and ready >= NEVER:
-                # Tie between unscheduled producers: prefer the defining
-                # instruction's cluster over an unissued copy's target.
-                producer = self.clusters[cluster_id].regfile.producer[preg]
-                if producer is not None and producer.kind == KIND_INST:
-                    best_cluster = cluster_id
-        available = best_ready <= cycle
-        view = SourceView(logical, is_fp_reg(logical), available,
-                          self.renamer.mapped_set(logical), best_cluster,
-                          predicted)
-        return view, best_cluster
-
     def _decode(self, cycle: int) -> None:
         budget = self.config.decode_width
         decoded = 0
@@ -891,68 +987,131 @@ class Processor:
             decoded += 1
 
     def _decode_one(self, fetched: FetchedInst, cycle: int) -> bool:
-        """Steer+rename+dispatch one instruction; False on a stall."""
-        dyn = fetched.dyn
-        predictions = self._predictions(dyn)
-        views: List[SourceView] = []
-        soonest: List[Optional[int]] = []
-        for slot, logical in enumerate(dyn.srcs):
-            if logical == ZERO_REG:
-                views.append(SourceView(logical, False, True, frozenset(),
-                                        None, False))
-                soonest.append(None)
-                continue
-            view, best = self._source_view(
-                logical, predictions[slot] is not None, cycle)
-            views.append(view)
-            soonest.append(best)
-        cluster_id = self.steerer.choose(views, self.dcount, pc=dyn.pc)
-        if self._injector is not None:
-            cluster_id = self._injector.flip_steering(
-                cluster_id, self.config.n_clusters, dyn.pc)
-        plan = self._plan_operands(dyn, cluster_id, views, soonest,
-                                   predictions, cycle)
-        stall = self._check_resources(dyn, cluster_id, plan)
-        if stall is not None:
-            self.stats.decode_stalls[stall] = (
-                self.stats.decode_stalls.get(stall, 0) + 1)
-            return False
-        self._dispatch(fetched, cluster_id, plan, cycle)
-        return True
+        """Steer+rename+dispatch one instruction; False on a stall.
 
-    def _plan_operands(self, dyn: DynInst, cluster_id: int,
-                       views: Sequence[SourceView],
-                       soonest: Sequence[Optional[int]],
-                       predictions: Sequence,
-                       cycle: int) -> List[tuple]:
-        """Decide the handling of each source operand (see §2.1/§2.2).
+        The per-slot work — value prediction, steering view, operand
+        plan, resource check — is fused into straight-line passes here:
+        decode dominates host time, and the per-slot helper calls this
+        replaced used to cost more than the work they did.
 
-        Plan entries:
+        Plan entries (consumed by ``_check_resources``/``_dispatch``):
           ("zero",)
           ("local", preg)                      value ready or will be, here
           ("pred_local", preg, correct, injected)  speculate; producer
                                                    verifies
           ("copy", logical, src_cluster)       demand-generated copy
+          ("copy_dup", logical, first_slot)    second read of a copied reg
           ("vcopy", logical, src_cluster, correct, injected)
                                                predicted remote operand
         """
+        dyn = fetched.dyn
+        if len(self.rob) >= self.config.rob_size:
+            # Any dispatch needs at least one ROB slot, whatever cluster
+            # steering would pick: stall before paying for prediction
+            # and steering work that cannot be used this cycle.  (The
+            # prediction cache keeps predictor state per-instruction
+            # exact across the deferral.)
+            stats = self.stats
+            stats.decode_stalls["rob"] = stats.decode_stalls.get("rob", 0) + 1
+            return False
+        srcs = dyn.srcs
+        # Value predictions: computed exactly once per DynInst (stall
+        # retries reuse the cached entries so predictor state and the
+        # accuracy stats advance once per instruction).  Entries are
+        # None or (value, correct, injected) triples; *injected* marks
+        # a prediction corrupted by the fault harness.
+        predictions = self._vp_cache.get(dyn.seq)
+        if predictions is None:
+            predictions = []
+            if not self._vp_enabled:
+                for _ in srcs:
+                    predictions.append(None)
+            else:
+                injector = self._injector
+                srcs_fp = dyn.srcs_fp
+                src_values = dyn.src_values
+                predict_update = self.vp.predict_update
+                pc = dyn.pc
+                for slot, logical in enumerate(srcs):
+                    if logical == ZERO_REG or srcs_fp[slot]:
+                        predictions.append(None)
+                        continue
+                    actual = src_values[slot]
+                    value, confident = predict_update(pc, slot, actual)
+                    if not confident:
+                        predictions.append(None)
+                        continue
+                    injected = False
+                    if injector is not None:
+                        corrupted = injector.corrupt_prediction(pc, slot,
+                                                                actual)
+                        if corrupted is not None:
+                            value, injected = corrupted, True
+                    predictions.append((value, value == actual, injected))
+            self._vp_cache[dyn.seq] = predictions
+        # Steering views: one pass over the slots.  A single-mapped
+        # operand (the overwhelmingly common case) needs no tournament.
+        map_table = self.renamer.map_table
+        mapped_clusters = map_table.mapped_clusters
+        mapped_set = map_table.mapped_set
+        map_rows = self._map_rows
+        ready_arrays = self._ready_arrays
+        srcs_fp = dyn.srcs_fp
+        views: List[SourceView] = []
+        soonest: List[Optional[int]] = []
+        for slot, logical in enumerate(srcs):
+            if logical == ZERO_REG:
+                views.append(self._zero_view)
+                soonest.append(None)
+                continue
+            mapped = mapped_clusters(logical)
+            row = map_rows[logical]
+            if len(mapped) == 1:
+                best = mapped[0]
+                best_ready = ready_arrays[best][row[best]]
+            else:
+                best = None
+                best_ready = NEVER + 1
+                for cluster_id in mapped:
+                    preg = row[cluster_id]
+                    ready = ready_arrays[cluster_id][preg]
+                    if ready < best_ready:
+                        best_ready = ready
+                        best = cluster_id
+                    elif ready == best_ready and ready >= NEVER:
+                        # Tie between unscheduled producers: prefer the
+                        # defining instruction's cluster over an
+                        # unissued copy's target.
+                        producer = (
+                            self.clusters[cluster_id].regfile.producer[preg])
+                        if producer is not None and producer.kind == KIND_INST:
+                            best = cluster_id
+            views.append(SourceView(logical, srcs_fp[slot],
+                                    best_ready <= cycle, mapped_set(logical),
+                                    best, predictions[slot] is not None))
+            soonest.append(best)
+        cluster_id = self.steerer.choose(views, self.dcount, pc=dyn.pc)
+        if self._injector is not None:
+            cluster_id = self._injector.flip_steering(
+                cluster_id, self.config.n_clusters, dyn.pc)
+        # Operand plan (see §2.1/§2.2), fused with the slot loop above
+        # gone: decide the handling of each source operand.
+        ready = ready_arrays[cluster_id]
         plan: List[tuple] = []
-        regfile = self.clusters[cluster_id].regfile
-        copy_planned: Dict[int, int] = {}   # logical -> slot of first copy
-        for slot, logical in enumerate(dyn.srcs):
+        copy_planned = None                 # logical -> slot of first copy
+        helpers_needed = False
+        for slot, logical in enumerate(srcs):
             if logical == ZERO_REG:
                 plan.append(("zero",))
                 continue
-            if logical in copy_planned:
+            if copy_planned is not None and logical in copy_planned:
                 # Same logical register twice: one copy serves both reads.
                 plan.append(("copy_dup", logical, copy_planned[logical]))
                 continue
-            view = views[slot]
             prediction = predictions[slot]
-            if cluster_id in view.mapped:
-                preg = self.renamer.mapping(logical, cluster_id)
-                if (prediction is not None
-                        and regfile.ready[preg] > cycle):
+            if cluster_id in views[slot].mapped:
+                preg = map_rows[logical][cluster_id]
+                if prediction is not None and ready[preg] > cycle:
                     # §2.2: source not yet available and confident ->
                     # dispatch speculatively; the producer verifies.
                     plan.append(("pred_local", preg, prediction[1],
@@ -964,15 +1123,62 @@ class Processor:
                 # regardless of availability, verify with a vcopy.
                 plan.append(("vcopy", logical, soonest[slot],
                              prediction[1], prediction[2]))
+                helpers_needed = True
             else:
                 plan.append(("copy", logical, soonest[slot]))
+                helpers_needed = True
+                if copy_planned is None:
+                    copy_planned = {}
                 copy_planned[logical] = slot
-        return plan
+        # Resource check: inline fast path when only the instruction
+        # itself needs resources; the general accounting lives in
+        # _check_resources.
+        stats = self.stats
+        if helpers_needed:
+            stall = self._check_resources(dyn, cluster_id, plan)
+        else:
+            stall = None
+            if len(self.rob) >= self.config.rob_size:
+                stall = "rob"
+            else:
+                dest = dyn.dest
+                if (dest is not None and dest != ZERO_REG
+                        and not self.renamer.free_count(
+                            cluster_id,
+                            FP_BANK if dyn.dest_fp else INT_BANK)):
+                    stall = "pregs"
+                else:
+                    cluster = self.clusters[cluster_id]
+                    queue = cluster.iq_int if dyn.is_int else cluster.iq_fp
+                    if len(queue._entries) >= queue.capacity:
+                        stall = "iq"
+        if stall is not None:
+            stats.decode_stalls[stall] = (
+                stats.decode_stalls.get(stall, 0) + 1)
+            return False
+        self._dispatch(fetched, cluster_id, plan, cycle)
+        return True
 
     def _check_resources(self, dyn: DynInst, cluster_id: int,
                          plan: Sequence[tuple]) -> Optional[str]:
         copies = [entry for entry in plan if entry[0] == "copy"]
         vcopies = [entry for entry in plan if entry[0] == "vcopy"]
+        if not copies and not vcopies:
+            # Fast path: only the instruction itself needs resources —
+            # the overwhelmingly common case once operands are local or
+            # predicted.
+            if len(self.rob) >= self.config.rob_size:
+                return "rob"
+            dest = dyn.dest
+            if dest is not None and dest != ZERO_REG:
+                bank = FP_BANK if dyn.dest_fp else INT_BANK
+                if not self.renamer.free_count(cluster_id, bank):
+                    return "pregs"
+            cluster = self.clusters[cluster_id]
+            queue = cluster.iq_int if dyn.is_int else cluster.iq_fp
+            if len(queue._entries) >= queue.capacity:
+                return "iq"
+            return None
         rob_needed = 1 + len(copies) + len(vcopies)
         if len(self.rob) + rob_needed > self.config.rob_size:
             return "rob"
@@ -991,7 +1197,7 @@ class Processor:
         # Issue-queue space: the instruction in its cluster/side, each
         # (v)copy in its source cluster on the value's side.
         iq_needed: Dict[Tuple[int, bool], int] = {}
-        own = (cluster_id, dyn.op.is_int)
+        own = (cluster_id, dyn.is_int)
         iq_needed[own] = 1
         for entry in copies:
             key = (entry[2], not is_fp_reg(entry[1]))
@@ -1007,26 +1213,29 @@ class Processor:
     def _dispatch(self, fetched: FetchedInst, cluster_id: int,
                   plan: Sequence[tuple], cycle: int) -> None:
         dyn = fetched.dyn
-        config = self.config
-        min_issue = cycle + 1 + config.extra_rename_cycles
-        uop = Uop(KIND_INST, dyn, 0, cluster_id, dyn.op.is_int, dyn.opclass)
+        min_issue = cycle + 1 + self.config.extra_rename_cycles
+        uop = Uop(KIND_INST, dyn, 0, cluster_id, dyn.is_int, dyn.opclass)
         uop.min_issue_cycle = min_issue
         uop.mispredicted_branch = fetched.mispredicted
-        helpers: List[Uop] = []
+        operands = uop.operands
+        stats = self.stats
+        helpers = None
         for slot, entry in enumerate(plan):
             kind = entry[0]
-            if kind == "zero":
-                uop.operands.append(Operand(MODE_ZERO, slot=slot))
-            elif kind == "local":
-                uop.operands.append(Operand(MODE_LOCAL, entry[1], slot=slot))
+            if kind == "local":
+                operands.append(Operand(MODE_LOCAL, entry[1], slot=slot))
+            elif kind == "zero":
+                operands.append(Operand(MODE_ZERO, slot=slot))
             elif kind == "pred_local":
                 _, preg, correct, injected = entry
                 operand = Operand(MODE_PRED, preg, correct, slot=slot,
                                   injected=injected)
-                uop.operands.append(operand)
+                operands.append(operand)
                 if injected:
                     self._injector.note_value_injected(dyn.pc, slot)
-                self._count_speculation(correct)
+                stats.speculative_operands += 1
+                if not correct:
+                    stats.mispredicted_operands += 1
                 if self._oracle:
                     operand.verified = True
                 else:
@@ -1035,6 +1244,8 @@ class Processor:
                                                 operand, cycle)
             elif kind == "copy":
                 _, logical, src_cluster = entry
+                if helpers is None:
+                    helpers = []
                 helpers.append(self._make_copy(logical, src_cluster,
                                                cluster_id, uop, slot,
                                                min_issue))
@@ -1042,46 +1253,65 @@ class Processor:
                 # Second read of a logical register already being copied
                 # by this instruction: share the replica.
                 _, logical, first_slot = entry
-                uop.operands.append(Operand(
-                    MODE_LOCAL, uop.operands[first_slot].preg, slot=slot))
+                operands.append(Operand(
+                    MODE_LOCAL, operands[first_slot].preg, slot=slot))
             else:  # vcopy
                 _, logical, src_cluster, correct, injected = entry
                 operand = Operand(MODE_PRED, None, correct, slot=slot,
                                   injected=injected)
-                uop.operands.append(operand)
+                operands.append(operand)
                 if injected:
                     self._injector.note_value_injected(dyn.pc, slot)
-                self._count_speculation(correct)
+                stats.speculative_operands += 1
+                if not correct:
+                    stats.mispredicted_operands += 1
                 if self._oracle:
                     operand.verified = True
                 else:
                     uop.unverified += 1
+                    if helpers is None:
+                        helpers = []
                     helpers.append(self._make_vcopy(logical, src_cluster,
                                                     uop, operand, min_issue))
+        clusters = self.clusters
         # Destination rename (Figure 1).
         if dyn.dest is not None and dyn.dest != ZERO_REG:
             preg, previous = self.renamer.define_dest(dyn.dest, cluster_id)
             uop.dest_preg = preg
             uop.dest_cluster = cluster_id
             uop.free_on_commit = previous
-            self.clusters[cluster_id].regfile.set_pending(preg, uop)
+            clusters[cluster_id].regfile.set_pending(preg, uop)
         # Helpers precede the instruction in dispatch (and ROB) order.
+        # Issue-queue insertion is IssueQueue.dispatch() inlined: append
+        # plus a next_try lower-bound update.
         tracer = self._tracer
-        for helper in helpers:
-            helper.order = self._next_order
-            self._next_order += 1
-            self.rob.append(helper)
-            self.clusters[helper.cluster].iq_for(helper.int_side).dispatch(
-                helper)
-            if tracer is not None:
-                tracer.counts[EV_DISPATCH] += 1
-                tracer.emit((cycle, EV_DISPATCH, helper.order, helper.kind,
-                             dyn.seq, dyn.pc, helper.cluster, dyn.op.name,
-                             fetched.fetch_cycle))
-        uop.order = self._next_order
-        self._next_order += 1
-        self.rob.append(uop)
-        self.clusters[cluster_id].iq_for(uop.int_side).dispatch(uop)
+        next_order = self._next_order
+        rob_append = self.rob.append
+        if helpers is not None:
+            for helper in helpers:
+                helper.order = next_order
+                next_order += 1
+                rob_append(helper)
+                hcluster = clusters[helper.cluster]
+                queue = hcluster.iq_int if helper.int_side else hcluster.iq_fp
+                helper.iq = queue
+                queue._entries.append(helper)
+                if helper.min_issue_cycle < queue.next_try:
+                    queue.next_try = helper.min_issue_cycle
+                if tracer is not None:
+                    tracer.counts[EV_DISPATCH] += 1
+                    tracer.emit((cycle, EV_DISPATCH, helper.order,
+                                 helper.kind, dyn.seq, dyn.pc, helper.cluster,
+                                 dyn.op.name, fetched.fetch_cycle))
+        uop.order = next_order
+        self._next_order = next_order + 1
+        rob_append(uop)
+        cluster = clusters[cluster_id]
+        queue = cluster.iq_int if uop.int_side else cluster.iq_fp
+        uop.iq = queue
+        queue._entries.append(uop)
+        if min_issue < queue.next_try:
+            queue.next_try = min_issue
         if tracer is not None:
             counts = tracer.counts
             emit = tracer.emit
@@ -1097,14 +1327,9 @@ class Processor:
             self._pending_store_addrs.add(dyn.seq)
         self.dcount.dispatch(cluster_id)
         self.steerer.notify_dispatch(cluster_id)
-        self.stats.dispatched_insts += 1
-        self.stats.dispatch_per_cluster[cluster_id] += 1
+        stats.dispatched_insts += 1
+        stats.dispatch_per_cluster[cluster_id] += 1
         self._vp_cache.pop(dyn.seq, None)
-
-    def _count_speculation(self, correct: bool) -> None:
-        self.stats.speculative_operands += 1
-        if not correct:
-            self.stats.mispredicted_operands += 1
 
     def _register_verification(self, cluster_id: int, preg: int,
                                consumer: Uop, operand: Operand,

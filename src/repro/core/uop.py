@@ -98,6 +98,13 @@ class Uop:
             succeed; the issue scan skips the uop until then.  Wakes
             (``RegisterFile.set_ready`` on an awaited register) only
             ever lower it, so a parked uop never oversleeps.
+        iq: the :class:`~repro.cluster.issue_queue.IssueQueue` this uop
+            was dispatched into (set by the queue).  Register-file wakes
+            use it to lower the queue's ``next_try`` bound so a sleeping
+            queue is rescanned exactly when one of its uops could issue.
+        is_load / is_store: memory classification, materialized at
+            construction (the commit and issue loops read them every
+            cycle; only INST uops can be memory operations).
     """
 
     __slots__ = ("kind", "dyn", "order", "cluster", "int_side", "opclass",
@@ -105,7 +112,8 @@ class Uop:
                  "generation", "issue_cycle", "complete_cycle",
                  "min_issue_cycle", "unverified", "readers", "verify_list",
                  "free_on_commit", "consumer", "consumer_operand",
-                 "mispredicted_branch", "reissue_count", "wake_cycle")
+                 "mispredicted_branch", "reissue_count", "wake_cycle",
+                 "iq", "is_load", "is_store")
 
     def __init__(self, kind: int, dyn: Optional[DynInst], order: int,
                  cluster: int, int_side: bool,
@@ -116,6 +124,13 @@ class Uop:
         self.cluster = cluster
         self.int_side = int_side
         self.opclass = opclass
+        if kind == KIND_INST and dyn is not None:
+            self.is_load = dyn.is_load
+            self.is_store = dyn.is_store
+        else:
+            self.is_load = False
+            self.is_store = False
+        self.iq = None
         self.operands: List[Operand] = []
         self.dest_preg: Optional[int] = None
         self.dest_cluster: Optional[int] = None
@@ -147,14 +162,6 @@ class Uop:
     @property
     def is_vcopy(self) -> bool:
         return self.kind == KIND_VCOPY
-
-    @property
-    def is_load(self) -> bool:
-        return self.kind == KIND_INST and self.dyn.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.kind == KIND_INST and self.dyn.is_store
 
     def kind_name(self) -> str:
         return ("inst", "copy", "vcopy")[self.kind]

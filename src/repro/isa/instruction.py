@@ -74,10 +74,17 @@ class DynInst:
         mem_addr: byte address for loads/stores, else ``None``.
         taken: branch outcome (``None`` for non-branches).
         target: next PC when taken (``None`` for non-branches).
+
+    The opcode views (``is_branch``, ``is_load``, ``opclass``, ...) are
+    materialized once at construction: the timing core reads them every
+    cycle an instruction sits in the window, so they are plain slot
+    attributes rather than properties chasing ``self.op`` each access.
     """
 
     __slots__ = ("seq", "pc", "op", "dest", "srcs", "src_values",
-                 "result", "mem_addr", "taken", "target")
+                 "result", "mem_addr", "taken", "target",
+                 "is_branch", "is_cond_branch", "is_load", "is_store",
+                 "is_int", "opclass", "srcs_fp", "dest_fp")
 
     def __init__(self, seq: int, pc: int, op: OpInfo,
                  dest: Optional[int], srcs: Tuple[int, ...],
@@ -94,30 +101,15 @@ class DynInst:
         self.mem_addr = mem_addr
         self.taken = taken
         self.target = target
-
-    # -- convenience views used throughout the timing model -----------------
-
-    @property
-    def is_branch(self) -> bool:
-        """True for any control transfer."""
-        return self.op.is_branch
-
-    @property
-    def is_cond_branch(self) -> bool:
-        """True for conditional branches (direction is predicted)."""
-        return self.op.is_cond_branch
-
-    @property
-    def is_load(self) -> bool:
-        return self.op.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.op.is_store
-
-    @property
-    def opclass(self) -> OpClass:
-        return self.op.opclass
+        # -- precomputed opcode views (see class docstring) --------------
+        self.is_branch = op.is_branch
+        self.is_cond_branch = op.is_cond_branch
+        self.is_load = op.is_load
+        self.is_store = op.is_store
+        self.is_int = op.is_int
+        self.opclass = op.opclass
+        self.srcs_fp = tuple(is_fp_reg(s) for s in srcs)
+        self.dest_fp = dest is not None and is_fp_reg(dest)
 
     def src_is_fp(self, index: int) -> bool:
         """True when source operand *index* lives in the fp register bank.
@@ -126,7 +118,7 @@ class DynInst:
         (§3.3: "Communications are not zero because of fp values, that
         are not considered by our predictor").
         """
-        return is_fp_reg(self.srcs[index])
+        return self.srcs_fp[index]
 
     def __repr__(self) -> str:
         return (f"<DynInst #{self.seq} pc={self.pc:#x} {self.op.name} "

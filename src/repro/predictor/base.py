@@ -88,6 +88,16 @@ class ValuePredictor:
         """Decode-time training with the correct operand value."""
         raise NotImplementedError
 
+    def predict_update(self, pc: int, slot: int, actual: int) -> Prediction:
+        """Fused lookup + training — the decode stage's hot-path entry.
+
+        Semantically identical to ``predict`` followed by ``update``;
+        implementations may override it to do both in one table walk.
+        """
+        prediction = self.predict(pc, slot, actual)
+        self.update(pc, slot, actual)
+        return prediction
+
     def _record(self, prediction: Prediction, actual: int) -> Prediction:
         self.stats.record(prediction.confident, prediction.value == actual)
         return prediction

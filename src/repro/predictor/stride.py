@@ -93,6 +93,43 @@ class StridePredictor(ValuePredictor):
         self._prev_stride[index] = new_stride
         self._last[index] = actual
 
+    def predict_update(self, pc: int, slot: int, actual: int) -> Prediction:
+        """Fused lookup + two-delta training in a single table walk.
+
+        Exactly ``predict`` followed by ``update`` (the two read the
+        same entry), folded together for the decode hot path.
+        """
+        index = (((pc >> 2) << 1) | (slot & 1)) & self._mask
+        last = self._last[index]
+        stride = self._stride[index]
+        counter = self._counter[index]
+        predicted = (last + stride - _INT_MIN) % _WRAP + _INT_MIN
+        confident = counter > self.confidence_threshold
+        stats = self.stats
+        stats.lookups += 1
+        if confident:
+            stats.confident += 1
+            if predicted == actual:
+                stats.confident_correct += 1
+        new_stride = (actual - last - _INT_MIN) % _WRAP + _INT_MIN
+        if new_stride == stride:
+            if counter < 3:
+                self._counter[index] = counter + 1
+        elif self.two_delta:
+            if new_stride == self._prev_stride[index]:
+                # Seen twice in a row: adopt it, confidence restarts.
+                self._stride[index] = new_stride
+                self._counter[index] = 1
+            elif counter > 0:
+                self._counter[index] = counter - 1
+        else:
+            self._stride[index] = new_stride
+            if counter > 0:
+                self._counter[index] = counter - 1
+        self._prev_stride[index] = new_stride
+        self._last[index] = actual
+        return Prediction(predicted, confident)
+
     def entry(self, pc: int, slot: int) -> tuple:
         """(last, stride, counter) for tests and introspection."""
         index = self._index(pc, slot)

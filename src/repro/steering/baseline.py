@@ -29,8 +29,7 @@ Thresholds come from the paper: Baseline rule 1 uses DCOUNT=32 / 16 for
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .base import SourceView, Steerer
 from .metrics import DCountTracker
@@ -102,31 +101,54 @@ class RMBSSteerer(Steerer):
         "unconstrained" (operands with no useful mapping),
         "mod2-all" (§3.2/§3.3's relaxation released every operand),
         "no-sources" (rule 2.3).
+
+        With at most two source operands (every ISA op here) the vote
+        tallies collapse to closed forms — two pending votes agree or
+        tie, two mapped sets vote for their intersection when it is
+        non-empty and their union otherwise — so the decode hot path
+        runs allocation-light set arithmetic instead of vote dicts.
+        The candidate *order* may differ from the dict tally, which is
+        immaterial: rule 3's least-loaded pick is order-invariant.
         """
-        pending_votes: Counter = Counter()
-        mapped_votes: Counter = Counter()
+        if len(sources) > 2:
+            return self._communication_candidates_general(sources, mod2)
+        pend_a = pend_b = None
+        map_a = map_b = None
         relevant = 0
         mod2_applies = False
+        use_mod1 = self.use_mod1
         for src in sources:
             predicted = src.predicted
-            available = src.available or (self.use_mod1 and predicted)
             if mod2 and predicted:
                 # Mod 2: this operand constrains nothing.
                 mod2_applies = True
                 continue
             relevant += 1
-            if not available:
-                # Rule 2.1: vote for the cluster producing it soonest.
-                if src.soonest_cluster is not None:
-                    pending_votes[src.soonest_cluster] += 1
+            if src.available or (use_mod1 and predicted):
+                mapped = src.mapped
+                if mapped:
+                    if map_a is None:
+                        map_a = mapped
+                    else:
+                        map_b = mapped
             else:
-                for cluster in src.mapped:
-                    mapped_votes[cluster] += 1
-        if pending_votes:
-            return self._argmax(pending_votes), "pending"
-        if relevant and mapped_votes:
-            return self._argmax(mapped_votes), "mapped"
-        if relevant and not mapped_votes and not mod2_applies:
+                # Rule 2.1: vote for the cluster producing it soonest.
+                soonest = src.soonest_cluster
+                if soonest is not None:
+                    if pend_a is None:
+                        pend_a = soonest
+                    else:
+                        pend_b = soonest
+        if pend_a is not None:
+            if pend_b is None or pend_b == pend_a:
+                return [pend_a], "pending"
+            return [pend_a, pend_b], "pending"
+        if map_a is not None:
+            if map_b is None:
+                return list(map_a), "mapped"
+            inter = map_a & map_b
+            return list(inter if inter else map_a | map_b), "mapped"
+        if relevant and not mod2_applies:
             # Operands exist but none is mapped anywhere useful (only
             # possible for always-available zero-register operands,
             # which carry no mapping): no constraint.
@@ -135,8 +157,42 @@ class RMBSSteerer(Steerer):
         return list(self.all_clusters()), (
             "mod2-all" if mod2_applies else "no-sources")
 
+    def _communication_candidates_general(
+            self, sources: Sequence[SourceView],
+            mod2: bool) -> Tuple[List[int], str]:
+        """Dict-tally fallback for hypothetical >2-operand sources."""
+        # Plain dicts, not Counters: vote keys arrive in first-vote
+        # order either way (Counter is a dict subclass), and Counter's
+        # __init__ is pure overhead per call.
+        pending_votes: Dict[int, int] = {}
+        mapped_votes: Dict[int, int] = {}
+        relevant = 0
+        mod2_applies = False
+        for src in sources:
+            predicted = src.predicted
+            available = src.available or (self.use_mod1 and predicted)
+            if mod2 and predicted:
+                mod2_applies = True
+                continue
+            relevant += 1
+            if not available:
+                soonest = src.soonest_cluster
+                if soonest is not None:
+                    pending_votes[soonest] = pending_votes.get(soonest, 0) + 1
+            else:
+                for cluster in src.mapped:
+                    mapped_votes[cluster] = mapped_votes.get(cluster, 0) + 1
+        if pending_votes:
+            return self._argmax(pending_votes), "pending"
+        if relevant and mapped_votes:
+            return self._argmax(mapped_votes), "mapped"
+        if relevant and not mapped_votes and not mod2_applies:
+            return list(self.all_clusters()), "unconstrained"
+        return list(self.all_clusters()), (
+            "mod2-all" if mod2_applies else "no-sources")
+
     @staticmethod
-    def _argmax(votes: Counter) -> List[int]:
+    def _argmax(votes: Dict[int, int]) -> List[int]:
         best = max(votes.values())
         return [cluster for cluster, count in votes.items() if count == best]
 

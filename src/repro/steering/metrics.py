@@ -19,29 +19,49 @@ __all__ = ["DCountTracker", "NReadyMeter"]
 
 
 class DCountTracker:
-    """The paper's DCOUNT workload counters."""
+    """The paper's DCOUNT workload counters.
+
+    Stored in offset form: ``_raw[c]`` is the true counter plus a
+    shared ``_offset`` that grows by one per dispatch.  That turns the
+    "every other counter falls by 1" part of a dispatch into a single
+    offset bump — O(1) instead of O(N) on the dispatch hot path —
+    while comparisons between counters (least-loaded picks) are
+    offset-invariant.  ``counters`` materializes the true values.
+    """
 
     def __init__(self, n_clusters: int) -> None:
         if n_clusters < 1:
             raise ValueError("need at least one cluster")
         self.n_clusters = n_clusters
-        self.counters: List[int] = [0] * n_clusters
+        self._raw: List[int] = [0] * n_clusters
+        self._offset = 0
+
+    @property
+    def counters(self) -> List[int]:
+        """The true DCOUNT values (their sum is always zero)."""
+        offset = self._offset
+        return [c - offset for c in self._raw]
 
     def dispatch(self, cluster: int) -> None:
         """Account one instruction dispatched to *cluster*."""
-        n = self.n_clusters
-        counters = self.counters
-        for c in range(n):
-            counters[c] -= 1
-        counters[cluster] += n
+        self._offset += 1
+        self._raw[cluster] += self.n_clusters
 
     def imbalance(self) -> int:
         """Maximum absolute counter value (the steering imbalance figure)."""
-        return max(abs(c) for c in self.counters)
+        offset = self._offset
+        best = 0
+        for c in self._raw:
+            c -= offset
+            if c < 0:
+                c = -c
+            if c > best:
+                best = c
+        return best
 
     def least_loaded(self) -> int:
         """Cluster with the minimum counter (ties break to the lowest id)."""
-        counters = self.counters
+        counters = self._raw
         best = 0
         for c in range(1, self.n_clusters):
             if counters[c] < counters[best]:
@@ -50,7 +70,9 @@ class DCountTracker:
 
     def least_loaded_among(self, candidates: Sequence[int]) -> int:
         """Least-loaded cluster restricted to *candidates*."""
-        counters = self.counters
+        if len(candidates) == 1:
+            return candidates[0]
+        counters = self._raw
         return min(candidates, key=lambda c: (counters[c], c))
 
 
@@ -77,6 +99,15 @@ class NReadyMeter:
         self.cycles += 1
         self.total += self._match(leftover_int, idle_int)
         self.total += self._match(leftover_fp, idle_fp)
+
+    def record_idle(self) -> None:
+        """A cycle with no capacity-stuck instruction on either side.
+
+        Equivalent to :meth:`record` with all-zero leftover vectors
+        (``_match`` contributes 0 whenever nothing is stuck), without
+        requiring the caller to compute idle capacities at all.
+        """
+        self.cycles += 1
 
     @staticmethod
     def _match(leftover: Sequence[int], idle: Sequence[int]) -> int:

@@ -2,6 +2,8 @@
 classified retries, deterministic seeding.
 """
 
+import os
+
 import pytest
 
 from repro.analysis.experiments import (ErrorLedger, run_graceful_sweep,
@@ -14,6 +16,18 @@ from repro.errors import (ConfigError, DeadlockError, DivergenceError,
                           SimulationError, WorkloadError)
 
 LEN = 400
+
+
+@pytest.fixture(autouse=True)
+def _pretend_two_cores(monkeypatch):
+    """Keep jobs=2 paths genuinely parallel on single-core CI hosts.
+
+    resolve_jobs clamps to the real core count; without this the
+    multi-worker tests would silently degrade to serial runs.  Tests
+    of the clamp itself monkeypatch os.cpu_count again on top.
+    """
+    real = os.cpu_count()
+    monkeypatch.setattr(os, "cpu_count", lambda: max(2, real or 1))
 
 
 def _cells(include_failure=False):
@@ -207,6 +221,8 @@ class TestEnvValidation:
         assert resolve_jobs() == 1
 
     def test_jobs_env_and_explicit(self, monkeypatch):
+        import os
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs() == 3
         assert resolve_jobs(2) == 2  # explicit wins
@@ -214,6 +230,23 @@ class TestEnvValidation:
     def test_jobs_zero_means_all_cores(self):
         import os
         assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_jobs_clamped_to_cpu_count(self, monkeypatch, caplog):
+        import os
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with caplog.at_level("WARNING", logger="repro.analysis.parallel"):
+            assert resolve_jobs(16) == 2
+        assert "clamping to 2" in caplog.text
+        # A request within the machine stays untouched (and quiet).
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.analysis.parallel"):
+            assert resolve_jobs(2) == 2
+        assert not caplog.records
+
+    def test_jobs_clamp_handles_unknown_cpu_count(self, monkeypatch):
+        import os
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs(4) == 1
 
     def test_malformed_jobs_raises_config_error(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")

@@ -1,7 +1,8 @@
 """Run the ``make obs-check`` gate from the tier-1 suite.
 
 A regression in non-invasiveness, event completeness, trace schemas,
-or tracing overhead fails this test as well as the standalone target.
+tracing overhead, or the disabled-hooks zero-allocation audit fails
+this test as well as the standalone target.
 """
 
 import pathlib
@@ -21,4 +22,4 @@ def test_observability_gate_passes():
     checks = run_checks(length=2_000, repeats=3, overhead_budget=0.5)
     failures = [(name, detail) for name, ok, detail in checks if not ok]
     assert not failures, failures
-    assert len(checks) == 5
+    assert len(checks) == 6

@@ -12,11 +12,27 @@ import sys
 BENCH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
 sys.path.insert(0, str(BENCH))
 
-from bench_wallclock import rate_of, speedup_of  # noqa: E402
+from bench_wallclock import provenance, rate_of, speedup_of  # noqa: E402
 
 
 def test_speedup_is_ratio():
     assert speedup_of(6.0, 3.0) == 2.0
+
+
+def test_provenance_fields():
+    import platform
+    import re
+
+    info = provenance()
+    assert set(info) == {"commit", "timestamp_utc", "python"}
+    assert info["python"] == platform.python_version()
+    # ISO-8601 UTC, second resolution.
+    assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z",
+                        info["timestamp_utc"])
+    # In this repo's checkout the commit is a short hash, possibly
+    # marked dirty; outside a checkout it may legitimately be None.
+    if info["commit"] is not None:
+        assert re.fullmatch(r"[0-9a-f]{7,40}(-dirty)?", info["commit"])
 
 
 def test_zero_parallel_time_yields_no_speedup():

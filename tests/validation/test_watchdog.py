@@ -51,8 +51,17 @@ def _wedged_processor(deadlock_cycles: int = 64,
     processor = Processor(make_config(1, deadlock_cycles=deadlock_cycles),
                           iter(trace), tracer=tracer)
     regfile = processor.clusters[0].regfile
-    original = regfile.set_ready
-    regfile.set_ready = lambda preg, cycle: original(preg, NEVER)
+
+    # RegisterFile uses __slots__, so the method cannot be shadowed on
+    # the instance; swapping __class__ to a wedged subclass (same
+    # layout, empty __slots__) confines the sabotage to this regfile.
+    class _WedgedRegisterFile(type(regfile)):
+        __slots__ = ()
+
+        def set_ready(self, preg, cycle):
+            super().set_ready(preg, NEVER)
+
+    regfile.__class__ = _WedgedRegisterFile
     return processor
 
 

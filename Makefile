@@ -15,7 +15,8 @@ export REPRO_CACHE := $(CACHE_DIR)
 endif
 
 .PHONY: test benchmarks bench-wallclock bench-smoke cache-stats \
-	cache-clear campaign check clean-results obs-check trace-demo
+	cache-clear campaign check clean-results obs-check report \
+	telemetry-check trace-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -49,6 +50,19 @@ cache-clear:
 # (tracemalloc audit).
 obs-check:
 	$(PYTHON) benchmarks/obs_check.py
+
+# Sweep-telemetry gate (docs/OBSERVABILITY.md): monitoring a 30-cell
+# sweep must cost < 2% wall-clock and stay bit-identical to the
+# unmonitored run, the telemetry JSONL and run receipts must validate
+# against their schemas, and receipt cache counters must match the
+# simulate calls that actually happened (cold and warm).
+telemetry-check:
+	$(PYTHON) benchmarks/telemetry_check.py
+
+# Performance dashboard: BENCH_sweep.json history rendered as markdown
+# with throughput-regression flags (docs/PERFORMANCE.md).
+report:
+	$(PYTHON) -m repro report
 
 # A taste of the instrumentation: ASCII pipeline diagram of a window
 # of the dynamic stream plus a Perfetto-loadable trace in results/.

@@ -27,7 +27,6 @@ Run directly or via ``make bench-smoke``; honours ``REPRO_JOBS`` /
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import sys
@@ -40,6 +39,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from bench_wallclock import provenance, rate_of
 from repro.analysis.cache import ResultCache, use_cache
+from repro.analysis.perf_report import append_entry, load_history
 from repro.analysis.parallel import (SweepCell, WorkerPool,
                                      resolve_chunksize, resolve_jobs,
                                      run_cells)
@@ -80,16 +80,6 @@ def identical(a, b) -> bool:
         a[key].to_dict() == b[key].to_dict() for key in a)
 
 
-def load_history() -> list:
-    if not RESULT_PATH.exists():
-        return []
-    try:
-        history = json.loads(RESULT_PATH.read_text())
-    except json.JSONDecodeError:
-        return []
-    return history if isinstance(history, list) else [history]
-
-
 def best_comparable_rate(history, n_cells: int, cores: int):
     """Best serial insts/s among same-shape smoke_guard entries.
 
@@ -118,7 +108,7 @@ def check_throughput(cells, serial, serial_s: float, cores: int,
     """
     insts = sum(result.stats.committed_insts for result in serial.values())
     rate = rate_of(insts, serial_s)
-    history = load_history()
+    history = load_history(RESULT_PATH)
     best = best_comparable_rate(history, len(serial), cores)
     if rate is None:
         print("throughput    : unmeasurable (zero-duration serial run); "
@@ -146,7 +136,7 @@ def check_throughput(cells, serial, serial_s: float, cores: int,
                 f"{REGRESSION_BUDGET:.0%} below the best recorded "
                 f"{best:,.0f} insts/s")
             return  # a failed run must not enter the history
-    history.append({
+    append_entry(RESULT_PATH, {
         "benchmark": "smoke_guard",
         **provenance(),
         "cpu_count": cores,
@@ -156,7 +146,6 @@ def check_throughput(cells, serial, serial_s: float, cores: int,
         "simulated_insts": insts,
         "serial_insts_per_second": rate,
     })
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def main() -> int:

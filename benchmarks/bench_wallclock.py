@@ -8,8 +8,12 @@ simulated-instructions-per-second into ``BENCH_sweep.json`` at the repo
 root (the perf trajectory file; each entry is appended, so the history
 survives re-runs).
 
-Each entry also carries provenance (git commit, UTC timestamp, python
-version — see :func:`provenance`), the dispatch chunk size
+Entries are written through
+:func:`repro.analysis.perf_report.append_entry` — schema-tagged,
+stably key-ordered, deduplicated — so ``repro report`` can always
+render the trajectory.  Each entry also carries provenance (git
+commit via :func:`repro.analysis.provenance.git_commit`, UTC
+timestamp, python version — see :func:`provenance`), the dispatch chunk size
 (``repro.analysis.parallel.resolve_chunksize``), the pool-reuse and
 cache sections, the serial run's per-cell wall-clock costs (the slowest
 cells, from ``run_cells(timings=...)``) and a tracer overhead section
@@ -32,11 +36,9 @@ to zero records no ``speedup`` at all (``None`` would read as
 from __future__ import annotations
 
 import datetime
-import json
 import os
 import pathlib
 import platform
-import subprocess
 import sys
 import tempfile
 import time
@@ -46,6 +48,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
 from repro.analysis.cache import ResultCache, use_cache
+from repro.analysis.perf_report import append_entry
+from repro.analysis.provenance import git_commit
 from repro.analysis.parallel import (SweepCell, WorkerPool,
                                      resolve_chunksize, resolve_jobs,
                                      resolve_trace_length, run_cells)
@@ -98,25 +102,9 @@ def provenance() -> dict:
     history cannot be tied to the change that caused it.  Entries
     recorded outside a git checkout carry ``"commit": null``.
     """
-    commit = None
-    repo_root = pathlib.Path(__file__).resolve().parent.parent
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=repo_root,
-            capture_output=True, text=True, timeout=10,
-        ).stdout.strip() or None
-        if commit is not None:
-            dirty = subprocess.run(
-                ["git", "status", "--porcelain"], cwd=repo_root,
-                capture_output=True, text=True, timeout=10,
-            ).stdout.strip()
-            if dirty:
-                commit += "-dirty"
-    except (OSError, subprocess.TimeoutExpired):
-        commit = None
     timestamp = datetime.datetime.now(datetime.timezone.utc)
     return {
-        "commit": commit,
+        "commit": git_commit(),
         "timestamp_utc": timestamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
     }
@@ -233,16 +221,7 @@ def _main() -> int:
     }
     if speedup is not None:
         entry["speedup"] = speedup
-    history = []
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(entry)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_entry(RESULT_PATH, entry)
     shown = f"{speedup:.2f}x" if speedup is not None else "n/a"
     print(f"speedup : {shown} on {jobs} job(s) (warm pool); "
           f"cache warm rerun "

@@ -20,6 +20,10 @@ from .export import (ablation_rows, figure2_rows, figure3_rows,
                      figure4_rows, figure5_rows, headline_rows,
                      interval_rows, scaling_rows, to_csv, to_json)
 from .metrics import ipcr, mean, pct_change, suite_mean
+from .perf_report import (BENCH_SCHEMA, append_entry, dedup_history,
+                          find_regressions, load_history, normalize_entry,
+                          render_dashboard, shape_key)
+from .provenance import RunReceipt, config_sha256, git_commit, host_info
 from .parallel import (CellFailure, CellOutcome, SweepCell, WorkerPool,
                        active_pool, cell_seed, is_transient_error,
                        resolve_chunksize, resolve_jobs,
@@ -50,6 +54,9 @@ __all__ = [
     "resolve_trace_length", "run_cells", "simulate_sweep_cell",
     "CacheStats", "ResultCache", "active_cache", "code_version",
     "default_cache", "resolve_cache", "use_cache",
+    "BENCH_SCHEMA", "append_entry", "dedup_history", "find_regressions",
+    "load_history", "normalize_entry", "render_dashboard", "shape_key",
+    "RunReceipt", "config_sha256", "git_commit", "host_info",
     "ipcr", "mean", "pct_change", "suite_mean",
     "ablation_rows", "figure2_rows", "figure3_rows", "figure4_rows",
     "figure5_rows", "headline_rows", "interval_rows", "scaling_rows",

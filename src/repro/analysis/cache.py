@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..errors import ConfigError
+from ..obs.telemetry import active_monitor
 
 __all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "CacheStats",
            "ResultCache", "active_cache", "code_version", "default_cache",
@@ -111,11 +112,26 @@ class ResultCache:
     lifetime (a sweep creates a cache, runs, then surfaces
     ``cache.stats``).  Instances are cheap — the directory is created
     lazily on the first store.
+
+    When *notify* is true (the default), every lookup and store is
+    reported to the ambient :class:`~repro.obs.telemetry.SweepMonitor`
+    as a ``cache_hit``/``cache_miss``/``cache_store`` event.  The sweep
+    runner's worker-side caches pass ``notify=False`` — their outcomes
+    travel back through :class:`~repro.analysis.parallel.CellOutcome`
+    and are folded (and reported) once, in the parent.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, notify: bool = True) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self.notify = notify
+
+    def _notify(self, event: str, key: str) -> None:
+        if not self.notify:
+            return
+        monitor = active_monitor()
+        if monitor is not None:
+            monitor.emit(event, key=key)
 
     # ------------------------------------------------------------- keys --
 
@@ -162,6 +178,7 @@ class ResultCache:
                 result = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._notify("cache_miss", key)
             return None
         except Exception:
             try:
@@ -169,8 +186,10 @@ class ResultCache:
             except OSError:
                 pass
             self.stats.misses += 1
+            self._notify("cache_miss", key)
             return None
         self.stats.hits += 1
+        self._notify("cache_hit", key)
         return result
 
     def put(self, key: str, result) -> None:
@@ -189,6 +208,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._notify("cache_store", key)
 
     def entries(self) -> List[Path]:
         """Every entry file currently on disk."""

@@ -33,11 +33,13 @@ so worker startup is paid once, not per figure.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import SimResult, make_config, simulate
 from ..errors import WorkloadError
+from ..obs.telemetry import active_monitor
 from ..workloads import workload_names, workload_trace
 from .metrics import mean, pct_change
 from .parallel import (SweepCell, active_pool, is_transient_error,
@@ -247,24 +249,45 @@ def run_graceful_sweep(workloads: Sequence[str] = None,
     jobs = resolve_jobs(jobs)
     names = list(workloads or selected_workloads())
     result = GracefulSweepResult()
-    if jobs <= 1:
-        # Serial path: route through run_one_safe (same classification,
-        # same ledger shape) so in-process harness hooks apply.
-        for name in names:
-            for n_clusters, predictor, steering in configs:
-                sim = run_one_safe(name, n_clusters, predictor=predictor,
-                                   steering=steering, length=length,
-                                   ledger=result.ledger, retries=retries)
-                if sim is not None:
-                    key = (name, f"{n_clusters}cl/{predictor}/{steering}")
-                    result.ipc[key] = sim.ipc
-        return result
     cells = [SweepCell(key=(name, f"{n}cl/{predictor}/{steering}"),
                        workload=name, n_clusters=n, predictor=predictor,
                        steering=steering, length=length)
              for name in names for n, predictor, steering in configs]
+    if jobs <= 1:
+        # Serial path: route through run_one_safe (same classification,
+        # same ledger shape) so in-process harness hooks apply.  It
+        # bypasses run_cells, so the sweep telemetry is emitted here —
+        # the same event sequence, with sweep_done in a finally block
+        # (crash-flush).
+        monitor = active_monitor()
+        if monitor is not None:
+            monitor.sweep_start("graceful-sweep", cells, jobs=1,
+                                chunksize=1)
+        try:
+            for index, cell in enumerate(cells):
+                if monitor is not None:
+                    monitor.cell_start(index)
+                already = len(result.ledger.entries)
+                start = time.perf_counter()
+                sim = run_one_safe(cell.workload, cell.n_clusters,
+                                   predictor=cell.predictor,
+                                   steering=cell.steering, length=length,
+                                   ledger=result.ledger, retries=retries)
+                if monitor is not None:
+                    for entry in result.ledger.entries[already:]:
+                        monitor.cell_retry(index, entry.attempt,
+                                           entry.error_type)
+                    monitor.cell_done(
+                        index, seconds=time.perf_counter() - start,
+                        ok=sim is not None)
+                if sim is not None:
+                    result.ipc[cell.key] = sim.ipc
+        finally:
+            if monitor is not None:
+                monitor.sweep_done()
+        return result
     sims = run_cells(cells, jobs=jobs, ledger=result.ledger,
-                     retries=retries)
+                     retries=retries, label="graceful-sweep")
     result.ipc = {key: sim.ipc for key, sim in sims.items()}
     return result
 
@@ -301,7 +324,8 @@ def run_figure2(workloads: Sequence[str] = None,
     specs = [((n_clusters, predict), n_clusters,
               "stride" if predict else "none", "baseline", {})
              for n_clusters, predict in Figure2Result.CONFIGS]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="figure2")
     result = Figure2Result()
     for name in names:
         result.ipc[name] = {config: sims[(name, config)].ipc
@@ -348,7 +372,8 @@ def run_figure3(workloads: Sequence[str] = None,
     specs += [((n_clusters, scheme), n_clusters, predictor, steering, {})
               for n_clusters in cluster_counts
               for scheme, predictor, steering in FIGURE3_SCHEMES]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="figure3")
     result = Figure3Result()
     for n_clusters in cluster_counts:
         imb: Dict[str, float] = {}
@@ -398,7 +423,8 @@ class Figure4Result:
 
 def _run_figure4(names: List[str], length: int, jobs: Optional[int],
                  result: Figure4Result, override_name: str,
-                 points: Sequence[Tuple[object, object]]) -> Figure4Result:
+                 points: Sequence[Tuple[object, object]],
+                 label: str = "figure4") -> Figure4Result:
     """Shared Figure 4 sweep: *points* is (x key, override value) pairs."""
     specs = [((n_clusters, predict, key), n_clusters,
               "stride" if predict else "none",
@@ -407,7 +433,8 @@ def _run_figure4(names: List[str], length: int, jobs: Optional[int],
              for n_clusters in (2, 4)
              for predict in (False, True)
              for key, value in points]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label=label)
     for n_clusters in (2, 4):
         for predict in (False, True):
             result.ipc[(n_clusters, predict)] = {
@@ -426,7 +453,8 @@ def run_figure4_latency(workloads: Sequence[str] = None,
     length = resolve_trace_length(length)
     result = Figure4Result("communication latency (cycles)", list(latencies))
     return _run_figure4(names, length, jobs, result, "comm_latency",
-                        [(latency, latency) for latency in latencies])
+                        [(latency, latency) for latency in latencies],
+                        label="figure4a")
 
 
 def run_figure4_bandwidth(workloads: Sequence[str] = None,
@@ -440,7 +468,8 @@ def run_figure4_bandwidth(workloads: Sequence[str] = None,
     result = Figure4Result("paths per cluster", xvalues)
     points = [(b if b is not None else "unbounded", b) for b in bandwidths]
     return _run_figure4(names, length, jobs, result,
-                        "comm_paths_per_cluster", points)
+                        "comm_paths_per_cluster", points,
+                        label="figure4b")
 
 
 # --------------------------------------------------------------- Figure 5 --
@@ -475,7 +504,8 @@ def run_figure5(workloads: Sequence[str] = None,
     length = resolve_trace_length(length)
     specs = [(size, 4, "stride", "vpb", {"vp_entries": size})
              for size in sizes]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="figure5")
     result = Figure5Result(list(sizes))
     for size in sizes:
         cells = [sims[(name, size)] for name in names]
@@ -511,7 +541,8 @@ def run_ablation_modified(workloads: Sequence[str] = None,
               for label, steering in (("baseline", "baseline"),
                                       ("modified", "modified"),
                                       ("vpb", "vpb"))]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="ablation-modified")
     result = AblationResult()
     for label in ("baseline", "modified", "vpb"):
         cells = [sims[(name, label)] for name in names]
@@ -532,7 +563,8 @@ def run_ablation_rename2(workloads: Sequence[str] = None,
     labels = (("rename-1-cycle", 0), ("rename-2-cycle", 1))
     specs = [(label, 4, "stride", "vpb", {"extra_rename_cycles": extra})
              for label, extra in labels]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="ablation-rename2")
     result = AblationResult()
     for label, _ in labels:
         result.rows[label] = {
@@ -572,7 +604,8 @@ def run_headline(workloads: Sequence[str] = None,
                   (2, "none", "baseline"), (2, "stride", "vpb"),
                   (4, "none", "baseline"), (4, "stride", "vpb")]
     specs = [(cell, cell[0], cell[1], cell[2], {}) for cell in cells_spec]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="headline")
     result = HeadlineResult()
 
     def _mean(cell):
@@ -618,7 +651,8 @@ def run_ablation_predictor(workloads: Sequence[str] = None,
     labels = (("two-delta", True), ("naive", False))
     specs = [(label, 4, "stride", "vpb", {"vp_two_delta": two_delta})
              for label, two_delta in labels]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="ablation-predictor")
     result = AblationResult()
     for label, _ in labels:
         cells = [sims[(name, label)] for name in names]
@@ -650,7 +684,8 @@ def run_ablation_free_copies(workloads: Sequence[str] = None,
                 ("free copies, VPB", "stride", "vpb", True))
     specs = [(label, 4, predictor, steering, {"free_copy_issue": free})
              for label, predictor, steering, free in variants]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="ablation-free-copies")
     result = AblationResult()
     for label, _, _, _ in variants:
         cells = [sims[(name, label)] for name in names]
@@ -677,7 +712,8 @@ def run_predictor_comparison(workloads: Sequence[str] = None,
     specs = [(label, 4, label,
               "vpb" if label != "none" else "baseline", {})
              for label in labels]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="predictor-comparison")
     result = AblationResult()
     for label in labels:
         cells = [sims[(name, label)] for name in names]
@@ -722,7 +758,7 @@ def run_ablation_static(workloads: Sequence[str] = None,
         cells.append(SweepCell(key=(name, "vpb"), workload=name,
                                n_clusters=4, predictor="stride",
                                steering="vpb", length=length))
-    sims = run_cells(cells, jobs=jobs)
+    sims = run_cells(cells, jobs=jobs, label="ablation-static")
     result = AblationResult()
     for label, suffix in (("static (perfect profile)", "static"),
                           ("baseline (dynamic)", "baseline"),
@@ -780,7 +816,8 @@ def run_scaling(workloads: Sequence[str] = None,
                "stride" if predict else "none",
                "vpb" if predict else "baseline", {})
               for n_clusters in counts for predict in (False, True)]
-    sims = run_cells(_cells_for(names, specs, length), jobs=jobs)
+    sims = run_cells(_cells_for(names, specs, length), jobs=jobs,
+                     label="scaling")
     result = ScalingResult(list(counts))
     for n_clusters in counts:
         for predict in (False, True):

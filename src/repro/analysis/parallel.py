@@ -59,6 +59,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core import SimResult, make_config, simulate
 from ..errors import (ConfigError, DeadlockError, DivergenceError,
                       ReproError, SimulationError, WorkloadError)
+from ..obs.telemetry import SweepMonitor, active_monitor, use_monitor
 from ..workloads import DEFAULT_TRACE_LENGTH, workload_trace
 from .cache import ResultCache, default_cache
 
@@ -230,14 +231,20 @@ class WorkerPool:
         dispatch *chunksize* items per worker round-trip
         (:func:`resolve_chunksize` when not given).
         """
+        return list(self.imap(fn, items, chunksize=chunksize))
+
+    def imap(self, fn, items: Sequence, chunksize: Optional[int] = None):
+        """Lazy :meth:`map`: yields results in input order as they
+        arrive, so callers (the sweep monitor's progress line) can
+        observe completion without waiting for the whole batch."""
         if self._closed:
             raise ConfigError("worker pool is closed")
         if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return (fn(item) for item in items)
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         chunksize = resolve_chunksize(chunksize, len(items), self.jobs)
-        return list(self._executor.map(fn, items, chunksize=chunksize))
+        return self._executor.map(fn, items, chunksize=chunksize)
 
     def close(self) -> None:
         """Shut the workers down (idempotent)."""
@@ -329,12 +336,18 @@ class CellOutcome:
     lists the failed attempts in order (empty on first-try success).
     ``seconds`` is the worker-side wall-clock cost of the cell across
     all attempts (host profiling; no effect on simulated results).
+    ``cache_stored`` reports that the *worker* entered the fresh result
+    into the result cache — the parent folds these into its own cache
+    counters, so ``repro cache stats`` and run receipts aggregate
+    correctly under ``jobs>1`` (worker-process counters die with the
+    worker).
     """
 
     key: Any
     result: Optional[SimResult] = None
     failures: List[CellFailure] = field(default_factory=list)
     seconds: float = 0.0
+    cache_stored: bool = False
 
 
 def simulate_sweep_cell(cell: SweepCell) -> SimResult:
@@ -375,10 +388,21 @@ def _execute_cell(cell: SweepCell, retries: int) -> CellOutcome:
         outcome.seconds = time.perf_counter() - start
 
 
-#: Worker entry point: (cell, retries) tuple -> CellOutcome.
-def _pool_worker(item: Tuple[SweepCell, int]) -> CellOutcome:
-    cell, retries = item
-    return _execute_cell(cell, retries)
+#: Worker entry point: (cell, retries, cache_root, cache_key) tuple ->
+#: CellOutcome.  The worker stores its own fresh result (parallelizing
+#: the pickle+write I/O that the parent used to serialize after the
+#: sweep) through a silent cache handle; the parent learns about the
+#: store from ``outcome.cache_stored`` and folds it into the sweep
+#: cache's counters.
+def _pool_worker(item: Tuple[SweepCell, int, Optional[str], Optional[str]]
+                 ) -> CellOutcome:
+    cell, retries, cache_root, cache_key = item
+    outcome = _execute_cell(cell, retries)
+    if (cache_root is not None and cache_key is not None
+            and outcome.result is not None):
+        ResultCache(cache_root, notify=False).put(cache_key, outcome.result)
+        outcome.cache_stored = True
+    return outcome
 
 
 _ERROR_TYPES = {cls.__name__: cls for cls in
@@ -401,13 +425,26 @@ def _raise_failure(cell: SweepCell, failure: CellFailure) -> None:
         f"{failure.error_type}: {failure.message}")
 
 
+def _note_outcome(monitor: Optional[SweepMonitor], index: int,
+                  outcome: CellOutcome) -> None:
+    """Report one freshly executed cell's outcome to the monitor."""
+    if monitor is None:
+        return
+    for failure in outcome.failures:
+        monitor.cell_retry(index, failure.attempt, failure.error_type)
+    monitor.cell_done(index, seconds=outcome.seconds,
+                      ok=outcome.result is not None,
+                      stored=outcome.cache_stored)
+
+
 def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
               ledger=None, retries: int = 1,
               timings: Optional[Dict[Any, float]] = None,
               pool: Optional[WorkerPool] = None,
               cache: Optional[ResultCache] = None,
-              chunksize: Optional[int] = None
-              ) -> Dict[Any, SimResult]:
+              chunksize: Optional[int] = None,
+              label: str = "sweep",
+              receipt_path=None) -> Dict[Any, SimResult]:
     """Execute *cells* and return ``{cell.key: SimResult}``.
 
     Args:
@@ -432,17 +469,55 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
         cache: a :class:`~repro.analysis.cache.ResultCache`; ``None``
             defers to :func:`~repro.analysis.cache.default_cache`
             (``use_cache`` context, then the ``REPRO_CACHE`` opt-in).
-            Cells found in the cache are never dispatched; fresh
-            successful results are stored back.
+            Cells found in the cache are never dispatched; workers
+            store fresh successful results back themselves (the parent
+            folds their store counts into the cache's counters).
         chunksize: cells per worker dispatch; ``None`` defers to
             ``REPRO_CHUNKSIZE``, then :func:`resolve_chunksize`'s
             about-four-chunks-per-worker heuristic.
+        label: the sweep's telemetry label — names this sweep in
+            progress lines, event logs and receipts.
+        receipt_path: when given, a
+            :class:`~repro.analysis.provenance.RunReceipt` covering
+            exactly this sweep is written here (atomically) after the
+            fold.
 
     Every execution path calls the same per-cell function, and outcomes
     are folded in submission order, so serial, parallel, and
     cache-assisted runs produce identical result dictionaries and
     identical ledgers.
+
+    Telemetry: when a :func:`~repro.obs.telemetry.use_monitor` block is
+    active (or *receipt_path* forces a private monitor), the run emits
+    typed sweep events — ``sweep_start``, per-cell
+    ``cell_start``/``cell_retry``/``cell_done`` (as results arrive, so
+    progress is live), cache events from the pre-pass, and a
+    ``sweep_done`` from a ``finally`` block so even an interrupted
+    sweep flushes a terminal event to any JSONL sink.
     """
+    monitor = active_monitor()
+    if monitor is None and receipt_path is not None:
+        # A receipt was requested with no ambient monitor: install a
+        # silent private one so cache/sweep events have a destination.
+        with use_monitor(SweepMonitor()) as monitor:
+            return _run_cells_monitored(
+                cells, jobs, ledger, retries, timings, pool, cache,
+                chunksize, label, receipt_path, monitor)
+    return _run_cells_monitored(cells, jobs, ledger, retries, timings,
+                                pool, cache, chunksize, label,
+                                receipt_path, monitor)
+
+
+def _run_cells_monitored(cells: Sequence[SweepCell], jobs: Optional[int],
+                         ledger, retries: int,
+                         timings: Optional[Dict[Any, float]],
+                         pool: Optional[WorkerPool],
+                         cache: Optional[ResultCache],
+                         chunksize: Optional[int], label: str,
+                         receipt_path,
+                         monitor: Optional[SweepMonitor]
+                         ) -> Dict[Any, SimResult]:
+    """The body of :func:`run_cells` (monitor already resolved)."""
     if pool is None:
         pool = active_pool()
     if jobs is None and pool is not None:
@@ -472,23 +547,68 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
     else:
         pending = list(range(len(cells)))
 
-    if pending:
-        items = [(cells[index], retries) for index in pending]
-        if jobs <= 1 or len(items) <= 1:
-            ran = [_pool_worker(item) for item in items]
-        elif pool is not None:
-            ran = pool.map(_pool_worker, items, chunksize=chunksize)
-        else:
-            chunk = resolve_chunksize(chunksize, len(items), jobs)
-            workers = min(jobs, len(items))
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                ran = list(executor.map(_pool_worker, items,
-                                        chunksize=chunk))
-        for index, outcome in zip(pending, ran):
-            outcomes[index] = outcome
-            if (cache is not None and keys[index] is not None
-                    and outcome.result is not None):
-                cache.put(keys[index], outcome.result)
+    record = None
+    if monitor is not None:
+        chunk_used = (resolve_chunksize(chunksize, len(pending), jobs)
+                      if jobs > 1 and len(pending) > 1 else 1)
+        record = monitor.sweep_start(label, cells, jobs=jobs,
+                                     chunksize=chunk_used)
+        for index, outcome in enumerate(outcomes):
+            if outcome is not None:
+                monitor.cell_done(index, seconds=0.0, ok=True, cached=True)
+
+    try:
+        if pending:
+            cache_root = str(cache.root) if cache is not None else None
+            items = [(cells[index], retries, cache_root, keys[index])
+                     for index in pending]
+            if jobs <= 1 or len(items) <= 1:
+                ran = []
+                for position, item in enumerate(items):
+                    if monitor is not None:
+                        monitor.cell_start(pending[position])
+                    outcome = _pool_worker(item)
+                    ran.append(outcome)
+                    _note_outcome(monitor, pending[position], outcome)
+            else:
+                if monitor is not None:
+                    for index in pending:
+                        monitor.cell_start(index)
+                if pool is not None:
+                    if monitor is not None and not pool.started:
+                        monitor.worker_up(min(pool.jobs, len(items)))
+                    stream = pool.imap(_pool_worker, items,
+                                       chunksize=chunksize)
+                    ran = []
+                    for position, outcome in enumerate(stream):
+                        ran.append(outcome)
+                        _note_outcome(monitor, pending[position], outcome)
+                else:
+                    chunk = resolve_chunksize(chunksize, len(items), jobs)
+                    workers = min(jobs, len(items))
+                    if monitor is not None:
+                        monitor.worker_up(workers)
+                    with ProcessPoolExecutor(max_workers=workers) \
+                            as executor:
+                        ran = []
+                        for position, outcome in enumerate(
+                                executor.map(_pool_worker, items,
+                                             chunksize=chunk)):
+                            ran.append(outcome)
+                            _note_outcome(monitor, pending[position],
+                                          outcome)
+                    if monitor is not None:
+                        monitor.worker_down()
+            for index, outcome in zip(pending, ran):
+                outcomes[index] = outcome
+                # Fold worker-side cache stores into the sweep cache's
+                # counters (worker-process CacheStats die with the
+                # worker).
+                if cache is not None and outcome.cache_stored:
+                    cache.stats.stores += 1
+    finally:
+        if monitor is not None:
+            monitor.sweep_done()
 
     results: Dict[Any, SimResult] = {}
     for cell, outcome in zip(cells, outcomes):
@@ -503,4 +623,11 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None,
             results[cell.key] = outcome.result
         elif ledger is None:
             _raise_failure(cell, outcome.failures[-1])
+
+    if receipt_path is not None and monitor is not None:
+        from .provenance import RunReceipt
+        RunReceipt.from_monitor(
+            monitor, label=label, cache_enabled=cache is not None,
+            sweeps=None if record is None else [record],
+        ).write(receipt_path)
     return results

@@ -18,13 +18,20 @@ Commands:
   (docs/ROBUSTNESS.md), written to ``results/robustness_campaign.txt``.
 * ``cache`` — stats/clear maintenance of the opt-in content-addressed
   sweep result cache (docs/PERFORMANCE.md).
+* ``report`` — markdown perf-regression dashboard rendered from the
+  ``BENCH_sweep.json`` trajectory plus optional run receipts
+  (docs/PERFORMANCE.md).
 
 Every figure command honours ``--workloads``, ``--length``, ``--jobs``
 and ``--cache-dir`` (and the ``REPRO_WORKLOADS`` / ``REPRO_TRACE_LEN``
 / ``REPRO_JOBS`` / ``REPRO_CHUNKSIZE`` / ``REPRO_CACHE`` environment
 variables).  A figure command holds one shared worker pool for its
 whole run, so multi-sweep commands (``ablations``) pay worker startup
-once.
+once.  ``--progress`` streams live sweep progress to stderr,
+``--telemetry-out`` mirrors the typed run events to a JSONL file
+(flushed per event, so an interrupted run keeps its partial log), and
+``--receipt-out`` writes a provenance receipt
+(docs/OBSERVABILITY.md).
 
 Exit codes: 0 on success, 1 when the simulation itself failed
 (divergence, deadlock, ...), 2 on a usage error (bad flag values,
@@ -114,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--jobs", type=int, default=None,
                       help="fan per-workload blocks across this many "
                            "worker processes (0 = all cores)")
+    camp.add_argument("--progress", action="store_true",
+                      help="stream live sweep progress to stderr")
+    camp.add_argument("--telemetry-out", default=None, metavar="PATH",
+                      help="mirror the run's telemetry events to this "
+                           "JSONL file (flushed per event)")
 
     cache = sub.add_parser(
         "cache",
@@ -123,6 +135,26 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory (default: REPRO_CACHE or "
                             ".repro_cache)")
+
+    rep = sub.add_parser(
+        "report",
+        help="perf-regression dashboard from BENCH_sweep.json and "
+             "run receipts (docs/PERFORMANCE.md)")
+    rep.add_argument("--bench", default=None, metavar="PATH",
+                     help="benchmark history file (default: the repo's "
+                          "BENCH_sweep.json)")
+    rep.add_argument("--receipt", action="append", default=[],
+                     metavar="PATH",
+                     help="run receipt to summarize (repeatable)")
+    rep.add_argument("--out", default=None, metavar="PATH",
+                     help="write the markdown dashboard here instead of "
+                          "stdout")
+    rep.add_argument("--threshold", type=float, default=0.20,
+                     help="fractional throughput drop vs the best "
+                          "same-shape entry that counts as a regression "
+                          "(default 0.20)")
+    rep.add_argument("--fail-on-regression", action="store_true",
+                     help="exit 1 when any regression is flagged")
 
     for name, help_text in (
             ("figure2", "IPC of 1/2/4 clusters, +/- value prediction"),
@@ -144,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="content-addressed result cache directory "
                               "(default: REPRO_CACHE, or no caching)")
+        fig.add_argument("--progress", action="store_true",
+                         help="stream live sweep progress to stderr")
+        fig.add_argument("--telemetry-out", default=None, metavar="PATH",
+                         help="mirror the run's telemetry events to this "
+                              "JSONL file (flushed per event)")
+        fig.add_argument("--receipt-out", default=None, metavar="PATH",
+                         help="write a provenance run receipt "
+                              "(docs/OBSERVABILITY.md) covering the "
+                              "command's sweeps")
     return parser
 
 
@@ -296,16 +337,58 @@ def _cmd_trace(args) -> None:
               f"written to {args.out}")
 
 
+def _make_monitor(args):
+    """A SweepMonitor when any telemetry flag asks for one, else None."""
+    from .obs import SweepMonitor
+    progress = getattr(args, "progress", False)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    receipt_out = getattr(args, "receipt_out", None)
+    if not (progress or telemetry_out or receipt_out):
+        return None
+    return SweepMonitor(progress=progress, jsonl_path=telemetry_out)
+
+
+def _finish_monitor(args, monitor, cache=None, label=None) -> None:
+    """Close the sinks; write the receipt when ``--receipt-out`` asked.
+
+    Runs in the command's ``finally`` block, so an interrupted run
+    still flushes its partial telemetry log (the receipt, by contrast,
+    only makes sense for a run that finished its sweeps).
+    """
+    if monitor is None:
+        return
+    monitor.close()
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if telemetry_out:
+        print(f"telemetry: {len(monitor.events)} events "
+              f"-> {telemetry_out}")
+    receipt_out = getattr(args, "receipt_out", None)
+    if receipt_out and monitor.sweeps:
+        from .analysis.provenance import RunReceipt
+        receipt = RunReceipt.from_monitor(
+            monitor, label=label, cache_enabled=cache is not None)
+        receipt.write(receipt_out)
+        print(f"receipt: {receipt.counts['cells']} cells "
+              f"({receipt.counts['simulated']} simulated) "
+              f"-> {receipt_out}")
+
+
 def _cmd_campaign(args) -> None:
+    from .obs import use_monitor
     if args.seeds < 1:
         raise ConfigError(f"--seeds must be >= 1, got {args.seeds}")
     if not 0.0 < args.rate <= 1.0:
         raise ConfigError(
             f"--rate must be in (0, 1], got {args.rate}")
-    result = run_fault_campaign(workloads=_subset(args),
-                                seeds=tuple(range(args.seeds)),
-                                length=args.length, rate=args.rate,
-                                jobs=args.jobs)
+    monitor = _make_monitor(args)
+    try:
+        with use_monitor(monitor):
+            result = run_fault_campaign(workloads=_subset(args),
+                                        seeds=tuple(range(args.seeds)),
+                                        length=args.length, rate=args.rate,
+                                        jobs=args.jobs)
+    finally:
+        _finish_monitor(args, monitor)
     report = format_campaign(result)
     print(report)
     path = args.output or os.path.join("results",
@@ -336,17 +419,69 @@ def _cmd_cache(args) -> None:
 def _cmd_figure(args) -> None:
     from .analysis.cache import resolve_cache, use_cache
     from .analysis.parallel import WorkerPool
+    from .obs import use_monitor
     # resolve_cache already folds in the REPRO_CACHE opt-in, so pinning
     # its result via use_cache only makes the command's cache explicit
     # (and gives one object whose hit/miss counters we can report).
     cache = resolve_cache(args.cache_dir)
+    monitor = _make_monitor(args)
     # One pool for the whole command: multi-sweep commands (ablations,
     # run_robustness) reuse warm workers instead of paying interpreter
-    # startup per driver.
-    with WorkerPool(args.jobs), use_cache(cache):
-        _run_figure_command(args)
+    # startup per driver; one monitor for the whole command, so the
+    # receipt aggregates every sweep the command ran.
+    try:
+        with WorkerPool(args.jobs), use_cache(cache), \
+                use_monitor(monitor):
+            _run_figure_command(args)
+    finally:
+        _finish_monitor(args, monitor, cache=cache, label=args.command)
     if cache is not None:
         print(f"cache: {cache.stats.render()} in {cache.root}")
+
+
+def _cmd_report(args) -> None:
+    import pathlib
+
+    from .analysis import perf_report
+    from .analysis.provenance import RunReceipt
+    from .obs.schema import validate_receipt
+    if not 0.0 < args.threshold < 1.0:
+        raise ConfigError(
+            f"--threshold must be a fraction in (0, 1), "
+            f"got {args.threshold}")
+    bench = args.bench
+    if bench is None:
+        bench = (pathlib.Path(__file__).resolve().parents[2]
+                 / "BENCH_sweep.json")
+    history = perf_report.load_history(bench)
+    receipts = []
+    for path in args.receipt:
+        try:
+            receipt = RunReceipt.read(path)
+            validate_receipt(receipt)
+        except (OSError, ValueError) as error:
+            raise ConfigError(f"bad receipt {path}: {error}") from None
+        receipts.append(receipt)
+    markdown = perf_report.render_dashboard(history, receipts,
+                                            threshold=args.threshold)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"dashboard ({len(history)} entries, {len(receipts)} "
+              f"receipts) -> {args.out}")
+    else:
+        print(markdown, end="")
+    regressions = perf_report.find_regressions(history,
+                                               threshold=args.threshold)
+    if regressions:
+        summary = "; ".join(
+            f"{flag['benchmark']} at {flag.get('commit') or 'unknown'} "
+            f"down {flag['drop']:.1%}" for flag in regressions)
+        print(f"regressions: {summary}", file=sys.stderr)
+        if args.fail_on_regression:
+            raise SimulationError(
+                f"{len(regressions)} throughput regression(s) exceed "
+                f"the {args.threshold:.0%} threshold")
 
 
 def _run_figure_command(args) -> None:
@@ -414,6 +549,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_campaign(args)
         elif args.command == "cache":
             _cmd_cache(args)
+        elif args.command == "report":
+            _cmd_report(args)
         else:
             _cmd_figure(args)
     except (ConfigError, WorkloadError) as error:

@@ -10,6 +10,9 @@ carries only ``is not None`` guards):
   N cycles into a time series (IPC, occupancy, NREADY, comms/inst...).
 * :class:`PhaseProfiler` — host wall-clock attribution across the
   simulator loop stages.
+* :class:`SweepMonitor` — sweep-level run telemetry (typed run events,
+  live progress/ETA, JSONL event log) feeding the per-run provenance
+  receipts of :mod:`repro.analysis.provenance`.
 
 See docs/OBSERVABILITY.md for the event taxonomy, file formats and
 measured overheads.
@@ -21,10 +24,15 @@ from .events import (EV_BUS, EV_COMMIT, EV_COMPLETE, EV_COPY_SEND,
                      event_to_dict)
 from .interval import Histogram, IntervalMetrics
 from .profiler import PHASES, PhaseProfiler
-from .schema import (TraceSchemaError, validate_chrome_trace,
-                     validate_jsonl_trace)
+from .schema import (RECEIPT_SCHEMA, TraceSchemaError,
+                     validate_chrome_trace, validate_jsonl_trace,
+                     validate_receipt, validate_telemetry_jsonl)
 from .sinks import (JSONL_SCHEMA, ChromeTraceSink, JsonlSink, ListSink,
                     RingBufferSink, TeeSink)
+from .telemetry import (TELEMETRY_EVENTS, TELEMETRY_SCHEMA, CellTelemetry,
+                        SweepMonitor, SweepTelemetry, active_monitor,
+                        eta_seconds, normalize_events, throughput,
+                        use_monitor)
 from .tracer import POSTMORTEM_WINDOW, EventTracer
 
 __all__ = [
@@ -33,8 +41,12 @@ __all__ = [
     "EVENT_NAMES", "EVENT_FIELDS", "KIND_NAMES", "event_to_dict",
     "Histogram", "IntervalMetrics",
     "PHASES", "PhaseProfiler",
-    "TraceSchemaError", "validate_chrome_trace", "validate_jsonl_trace",
+    "RECEIPT_SCHEMA", "TraceSchemaError", "validate_chrome_trace",
+    "validate_jsonl_trace", "validate_receipt", "validate_telemetry_jsonl",
     "JSONL_SCHEMA", "ChromeTraceSink", "JsonlSink", "ListSink",
     "RingBufferSink", "TeeSink",
+    "TELEMETRY_EVENTS", "TELEMETRY_SCHEMA", "CellTelemetry",
+    "SweepMonitor", "SweepTelemetry", "active_monitor", "eta_seconds",
+    "normalize_events", "throughput", "use_monitor",
     "POSTMORTEM_WINDOW", "EventTracer",
 ]

@@ -19,10 +19,12 @@ combination must not abort the sweep.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import SimulationError
+from ..obs.telemetry import active_monitor
 from .faults import FAULT_VALUE, FaultPlan
 
 __all__ = ["CampaignCell", "CampaignResult", "run_fault_campaign",
@@ -161,6 +163,12 @@ def run_fault_campaign(workloads: Optional[Sequence[str]] = None,
     per-workload blocks fan out across worker processes — each block is
     seeded and explicit, and blocks are folded in workload order, so
     the report is identical to a serial campaign's.
+
+    When a sweep monitor is ambient
+    (:func:`~repro.obs.telemetry.use_monitor`), the campaign reports
+    one telemetry cell per workload block — ``sweep_done`` fires from
+    a ``finally`` block, so an interrupted campaign still flushes its
+    partial event log.
     """
     # Local import: the core simulator imports this package lazily and
     # vice versa; importing at call time breaks the cycle.
@@ -176,15 +184,50 @@ def run_fault_campaign(workloads: Optional[Sequence[str]] = None,
     payloads = [(name, tuple(kinds), tuple(seeds), length, n_clusters,
                  predictor, steering, rate, comm_latency)
                 for name in names]
-    if jobs <= 1 or len(payloads) <= 1:
-        blocks = [_campaign_workload_block(payload) for payload in payloads]
-    elif pool is not None:
-        # One workload block per dispatch: blocks are coarse already.
-        blocks = pool.map(_campaign_workload_block, payloads, chunksize=1)
-    else:
-        with WorkerPool(jobs) as own:
-            blocks = own.map(_campaign_workload_block, payloads,
-                             chunksize=1)
+    monitor = active_monitor()
+    if monitor is not None:
+        monitor.sweep_start(
+            "fault-campaign",
+            [{"key": name, "workload": name, "n_clusters": n_clusters,
+              "predictor": predictor, "steering": steering,
+              "length": length or 6_000} for name in names],
+            jobs=jobs, chunksize=1)
+    try:
+        if jobs <= 1 or len(payloads) <= 1:
+            blocks = []
+            for index, payload in enumerate(payloads):
+                if monitor is not None:
+                    monitor.cell_start(index)
+                start = time.perf_counter()
+                blocks.append(_campaign_workload_block(payload))
+                if monitor is not None:
+                    monitor.cell_done(
+                        index, seconds=time.perf_counter() - start)
+        else:
+            if monitor is not None:
+                for index in range(len(payloads)):
+                    monitor.cell_start(index)
+            if pool is not None:
+                # One workload block per dispatch: blocks are coarse
+                # already.
+                stream = pool.imap(_campaign_workload_block, payloads,
+                                   chunksize=1)
+            else:
+                pool = WorkerPool(jobs)
+                stream = pool.imap(_campaign_workload_block, payloads,
+                                   chunksize=1)
+            try:
+                blocks = []
+                for index, block in enumerate(stream):
+                    blocks.append(block)
+                    if monitor is not None:
+                        monitor.cell_done(index)
+            finally:
+                if pool is not active_pool():
+                    pool.close()
+    finally:
+        if monitor is not None:
+            monitor.sweep_done()
     for block in blocks:
         result.cells.extend(block)
     return result

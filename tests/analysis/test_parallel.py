@@ -301,3 +301,99 @@ class TestCellSeed:
         # Same program structure, different input data: both complete.
         assert results["a"].stats.committed_insts > 0
         assert results["b"].stats.committed_insts > 0
+
+
+class TestSweepTelemetry:
+    """run_cells under an ambient SweepMonitor: identical event *sets*
+    serial vs parallel, worker-side cache stores folded into the
+    parent's counters, receipts written without an ambient monitor."""
+
+    def _monitored_run(self, cells, jobs, cache=None):
+        from repro.obs.telemetry import SweepMonitor, use_monitor
+        with use_monitor(SweepMonitor()) as monitor:
+            results = run_cells(cells, jobs=jobs, cache=cache)
+        return results, monitor.events
+
+    def test_event_sets_identical_serial_vs_parallel(self):
+        from repro.obs.telemetry import normalize_events
+        cells = _cells()
+        serial_results, serial_events = self._monitored_run(cells, jobs=1)
+        par_results, par_events = self._monitored_run(cells, jobs=2)
+        assert normalize_events(serial_events) \
+            == normalize_events(par_events)
+        for key in serial_results:
+            assert (serial_results[key].to_dict()
+                    == par_results[key].to_dict())
+
+    def test_retry_events_survive_the_parallel_fold(self):
+        from repro.obs.telemetry import normalize_events
+        cells = _cells(include_failure=True)
+        ledgers = (ErrorLedger(), ErrorLedger())
+        _, serial_events = self._monitored_run_with_ledger(
+            cells, jobs=1, ledger=ledgers[0])
+        _, par_events = self._monitored_run_with_ledger(
+            cells, jobs=2, ledger=ledgers[1])
+        assert normalize_events(serial_events) \
+            == normalize_events(par_events)
+        retries = [event for event in serial_events
+                   if event["event"] == "cell_retry"]
+        assert retries and retries[0]["error"] == "WorkloadError"
+
+    def _monitored_run_with_ledger(self, cells, jobs, ledger):
+        from repro.obs.telemetry import SweepMonitor, use_monitor
+        with use_monitor(SweepMonitor()) as monitor:
+            results = run_cells(cells, jobs=jobs, ledger=ledger)
+        return results, monitor.events
+
+    def test_worker_cache_stores_fold_into_parent_stats(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+        cells = _cells()
+        cache = ResultCache(tmp_path / "cache")
+        run_cells(cells, jobs=2, cache=cache)
+        # Workers stored each fresh result; the parent's process-local
+        # counters must reflect every one of them (the satellite-1 bug:
+        # stores happened in workers and were never folded back).
+        assert cache.stats.stores == len(cells)
+        assert cache.stats.misses == len(cells)
+        assert cache.stats.hits == 0
+        warm = run_cells(cells, jobs=2, cache=cache)
+        assert cache.stats.hits == len(cells)
+        assert cache.stats.stores == len(cells)  # nothing re-stored
+        assert len(warm) == len(cells)
+
+    def test_cached_parallel_event_set_matches_serial(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+        from repro.obs.telemetry import normalize_events
+        cells = _cells()
+        serial_cache = ResultCache(tmp_path / "serial")
+        par_cache = ResultCache(tmp_path / "parallel")
+        _, serial_events = self._monitored_run(cells, jobs=1,
+                                               cache=serial_cache)
+        _, par_events = self._monitored_run(cells, jobs=2,
+                                            cache=par_cache)
+        assert normalize_events(serial_events) \
+            == normalize_events(par_events)
+        stores = [event for event in par_events
+                  if event["event"] == "cache_store"]
+        assert len(stores) == len(cells)
+
+    def test_receipt_path_without_ambient_monitor(self, tmp_path):
+        from repro.obs.schema import validate_receipt
+        path = tmp_path / "run_receipt.json"
+        run_cells(_cells(), jobs=1, label="standalone",
+                  receipt_path=path)
+        assert validate_receipt(str(path)) == 4
+        import json
+        receipt = json.loads(path.read_text())
+        assert receipt["label"] == "standalone"
+        assert receipt["counts"]["simulated"] == 4
+
+    def test_sweep_done_emitted_even_when_a_cell_raises(self):
+        from repro.obs.telemetry import SweepMonitor, use_monitor
+        cells = [SweepCell(key="bad", workload="nope", n_clusters=2,
+                           length=LEN)]
+        with use_monitor(SweepMonitor()) as monitor:
+            with pytest.raises(WorkloadError):
+                run_cells(cells, jobs=1)
+        names = [event["event"] for event in monitor.events]
+        assert names[-1] == "sweep_done"

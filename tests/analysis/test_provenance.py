@@ -1,0 +1,150 @@
+"""Run receipts: schema validity, honest cache accounting, and
+byte-identity of the deterministic view between serial and parallel
+executions of the same sweep.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.parallel import SweepCell, run_cells
+from repro.analysis.provenance import (RunReceipt, config_sha256,
+                                       git_commit, host_info)
+from repro.obs.schema import (RECEIPT_SCHEMA, TraceSchemaError,
+                              validate_receipt)
+from repro.obs.telemetry import SweepMonitor, use_monitor
+
+LEN = 300
+
+
+@pytest.fixture(autouse=True)
+def _pretend_two_cores(monkeypatch):
+    """Keep jobs=2 paths genuinely parallel on single-core CI hosts."""
+    real = os.cpu_count()
+    monkeypatch.setattr(os, "cpu_count", lambda: max(2, real or 1))
+
+
+def _cells():
+    return [SweepCell(key=(name, n), workload=name, n_clusters=n,
+                      predictor="stride", steering="vpb", length=LEN)
+            for name in ("rawcaudio", "gsmdec") for n in (1, 2)]
+
+
+def _receipt_for(jobs: int) -> RunReceipt:
+    with use_monitor(SweepMonitor()) as monitor:
+        run_cells(_cells(), jobs=jobs)
+        return RunReceipt.from_monitor(monitor)
+
+
+class TestProvenanceHelpers:
+    def test_config_sha256_ignores_override_spelling(self):
+        a = config_sha256(4, "stride", "vpb", ())
+        b = config_sha256(4, "stride", "vpb")
+        assert a == b and re.fullmatch(r"[0-9a-f]{64}", a)
+
+    def test_config_sha256_distinguishes_machines(self):
+        assert (config_sha256(2, "stride", "vpb")
+                != config_sha256(4, "stride", "vpb"))
+
+    def test_invalid_config_hashes_to_none(self):
+        assert config_sha256(-3, "stride", "vpb") is None
+
+    def test_git_commit_shape(self):
+        commit = git_commit()
+        if commit is not None:
+            assert re.fullmatch(r"[0-9a-f]{7,40}(-dirty)?", commit)
+
+    def test_git_commit_outside_checkout_is_none(self, tmp_path):
+        assert git_commit(tmp_path) is None
+
+    def test_host_info_fields(self):
+        info = host_info()
+        assert set(info) == {"platform", "python", "cpu_count"}
+
+
+class TestRunReceipt:
+    def test_receipt_validates_and_counts(self):
+        receipt = _receipt_for(jobs=1)
+        data = receipt.to_dict()
+        assert validate_receipt(data) == 4
+        assert data["schema"] == RECEIPT_SCHEMA
+        assert data["counts"] == {"cells": 4, "completed": 4,
+                                  "failed": 0, "simulated": 4}
+        assert data["cache"]["enabled"] is False
+        for cell in data["cells"]:
+            assert re.fullmatch(r"[0-9a-f]{64}", cell["config_sha256"])
+
+    def test_deterministic_view_byte_identical_serial_vs_parallel(self):
+        serial = _receipt_for(jobs=1).deterministic_dict()
+        parallel = _receipt_for(jobs=2).deterministic_dict()
+        assert (json.dumps(serial, sort_keys=True)
+                == json.dumps(parallel, sort_keys=True))
+
+    def test_deterministic_view_strips_volatile_fields(self):
+        receipt = _receipt_for(jobs=1)
+        data = receipt.deterministic_dict()
+        assert "host" not in data and "created_utc" not in data
+        assert "run" not in data and "commit" not in data
+        for cell in data["cells"]:
+            assert "seconds" not in cell and "stored" not in cell
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        receipt = _receipt_for(jobs=1)
+        path = tmp_path / "nested" / "run_receipt.json"
+        receipt.write(path)
+        loaded = RunReceipt.read(path)
+        assert loaded == receipt.to_dict()
+        assert validate_receipt(str(path)) == 4
+        # No temp-file debris from the atomic write.
+        assert [p.name for p in path.parent.iterdir()] \
+            == ["run_receipt.json"]
+
+    def test_sweeps_argument_scopes_the_receipt(self):
+        with use_monitor(SweepMonitor()) as monitor:
+            run_cells(_cells()[:2], jobs=1, label="first")
+            run_cells(_cells()[2:], jobs=1, label="second")
+            scoped = RunReceipt.from_monitor(
+                monitor, sweeps=[monitor.sweeps[1]])
+            aggregate = RunReceipt.from_monitor(monitor)
+        assert scoped.label == "second"
+        assert scoped.counts["cells"] == 2
+        assert aggregate.counts["cells"] == 4
+        assert aggregate.run["sweeps"] == 2
+
+    def test_cache_counters_match_simulate_calls(self, tmp_path):
+        cells = _cells()
+        cache = ResultCache(tmp_path / "cache")
+        with use_monitor(SweepMonitor()) as monitor:
+            run_cells(cells, jobs=1, cache=cache)
+            cold = RunReceipt.from_monitor(
+                monitor, cache_enabled=True,
+                sweeps=[monitor.sweeps[-1]])
+        assert cold.cache == {"enabled": True, "hits": 0,
+                              "misses": 4, "stores": 4}
+        assert cold.counts["simulated"] == 4
+        with use_monitor(SweepMonitor()) as monitor:
+            run_cells(cells, jobs=1, cache=cache)
+            warm = RunReceipt.from_monitor(
+                monitor, cache_enabled=True,
+                sweeps=[monitor.sweeps[-1]])
+        assert warm.cache == {"enabled": True, "hits": 4,
+                              "misses": 0, "stores": 0}
+        assert warm.counts["simulated"] == 0
+        validate_receipt(cold.to_dict())
+        validate_receipt(warm.to_dict())
+
+    def test_validator_rejects_dishonest_counters(self):
+        data = _receipt_for(jobs=1).to_dict()
+        data["cache"]["enabled"] = True
+        data["cache"]["hits"] = 3  # claims hits that never happened
+        with pytest.raises(TraceSchemaError, match="hits"):
+            validate_receipt(data)
+
+    def test_validator_rejects_missing_section(self):
+        data = _receipt_for(jobs=1).to_dict()
+        del data["counts"]
+        with pytest.raises(TraceSchemaError, match="counts"):
+            validate_receipt(data)

@@ -1,0 +1,26 @@
+"""Run the ``make telemetry-check`` gate from the tier-1 suite.
+
+A regression in monitor overhead, monitored-run bit-identity, the
+telemetry JSONL / receipt schemas, or the receipts' cache accounting
+fails this test as well as the standalone target.
+"""
+
+import pathlib
+import sys
+
+BENCH = pathlib.Path(__file__).resolve().parent.parent.parent \
+    / "benchmarks"
+sys.path.insert(0, str(BENCH))
+
+from telemetry_check import run_checks  # noqa: E402
+
+
+def test_telemetry_gate_passes():
+    # The functional checks run at full strength on a shorter sweep;
+    # the wall-clock overhead budget is relaxed here because the suite
+    # shares the host with other tests — `make telemetry-check`
+    # enforces the strict 2%.
+    checks = run_checks(length=300, repeats=2, overhead_budget=0.5)
+    failures = [(name, detail) for name, ok, detail in checks if not ok]
+    assert not failures, failures
+    assert len(checks) == 7

@@ -153,3 +153,102 @@ def test_campaign_accepts_jobs_flag(tmp_path, capsys):
                  "--output", str(tmp_path / "report.txt")])
     assert code == 0
     assert "detection" in capsys.readouterr().out.lower()
+
+
+class TestReportCli:
+    """`repro report`: the perf-regression dashboard command."""
+
+    @staticmethod
+    def _bench_file(tmp_path, rates):
+        import json
+        entries = [{"benchmark": "smoke_guard", "commit": f"c{i:07d}",
+                    "timestamp_utc": f"2026-08-0{i + 1}T00:00:00Z",
+                    "cpu_count": 2, "cells": 16, "trace_length": 1500,
+                    "serial_insts_per_second": rate}
+                   for i, rate in enumerate(rates)]
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(entries))
+        return path
+
+    def test_report_renders_dashboard(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path, [100_000.0])
+        assert main(["report", "--bench", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "# Sweep performance dashboard" in out
+        assert "None detected." in out
+
+    def test_report_flags_synthetic_25pct_regression(self, tmp_path,
+                                                     capsys):
+        bench = self._bench_file(tmp_path, [100_000.0, 75_000.0])
+        assert main(["report", "--bench", str(bench)]) == 0
+        captured = capsys.readouterr()
+        assert "25.0%" in captured.out
+        assert "down 25.0%" in captured.err
+        # With --fail-on-regression the same drop is a failing exit.
+        assert main(["report", "--bench", str(bench),
+                     "--fail-on-regression"]) == 1
+
+    def test_report_threshold_is_bounded(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path, [100_000.0])
+        assert main(["report", "--bench", str(bench),
+                     "--threshold", "1.5"]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_report_writes_markdown_file(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path, [100_000.0])
+        out = tmp_path / "dashboard.md"
+        assert main(["report", "--bench", str(bench),
+                     "--out", str(out)]) == 0
+        assert "dashboard" in capsys.readouterr().out
+        assert out.read_text().startswith("# Sweep performance dashboard")
+
+    def test_report_includes_receipts(self, tmp_path, capsys):
+        from repro.analysis.parallel import SweepCell, run_cells
+        bench = self._bench_file(tmp_path, [100_000.0])
+        receipt = tmp_path / "run_receipt.json"
+        run_cells([SweepCell(key="r", workload="rawcaudio",
+                             n_clusters=1, length=300)],
+                  jobs=1, label="cli-receipt", receipt_path=receipt)
+        assert main(["report", "--bench", str(bench),
+                     "--receipt", str(receipt)]) == 0
+        out = capsys.readouterr().out
+        assert "## Run receipts" in out and "cli-receipt" in out
+
+    def test_report_rejects_bad_receipt(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path, [100_000.0])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["report", "--bench", str(bench),
+                     "--receipt", str(bad)]) == 2
+        assert "bad receipt" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    """--progress / --telemetry-out / --receipt-out on sweep commands."""
+
+    def test_figure_writes_telemetry_and_receipt(self, tmp_path, capsys):
+        from repro.obs.schema import (validate_receipt,
+                                      validate_telemetry_jsonl)
+        telemetry = tmp_path / "events.jsonl"
+        receipt = tmp_path / "receipt.json"
+        code = main(["figure2", "--workloads", "rawcaudio", "--length",
+                     "300", "--progress", "--telemetry-out",
+                     str(telemetry), "--receipt-out", str(receipt)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "telemetry:" in captured.out
+        assert "receipt:" in captured.out
+        assert "[figure2]" in captured.err  # live progress lines
+        assert validate_telemetry_jsonl(str(telemetry)) > 0
+        assert validate_receipt(str(receipt)) == 6
+
+    def test_campaign_telemetry_out(self, tmp_path, capsys):
+        from repro.obs.schema import validate_telemetry_jsonl
+        telemetry = tmp_path / "campaign.jsonl"
+        code = main(["campaign", "--workloads", "rawcaudio", "--length",
+                     "1000", "--seeds", "1",
+                     "--telemetry-out", str(telemetry)])
+        assert code == 0
+        assert validate_telemetry_jsonl(str(telemetry)) > 0
+        events = telemetry.read_text()
+        assert "fault-campaign" in events

@@ -16,7 +16,7 @@ endif
 
 .PHONY: test benchmarks bench-wallclock bench-smoke cache-stats \
 	cache-clear campaign check clean-results obs-check report \
-	telemetry-check trace-demo
+	sample-check telemetry-check trace-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -58,6 +58,15 @@ obs-check:
 # simulate calls that actually happened (cold and warm).
 telemetry-check:
 	$(PYTHON) benchmarks/telemetry_check.py
+
+# Sampled-simulation gate (docs/SAMPLING.md): a million-instruction
+# sampled run must deliver >= 20x the detailed model's effective
+# insts/s with <= 2% IPC error, both snapshot kinds must round-trip
+# bit-identically (save -> restore -> resume == uninterrupted), and a
+# sampled sweep cell's run receipt must validate with its sampling
+# block intact.
+sample-check:
+	$(PYTHON) benchmarks/sample_check.py
 
 # Performance dashboard: BENCH_sweep.json history rendered as markdown
 # with throughput-regression flags (docs/PERFORMANCE.md).

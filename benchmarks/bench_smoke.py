@@ -39,7 +39,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from bench_wallclock import provenance, rate_of
 from repro.analysis.cache import ResultCache, use_cache
-from repro.analysis.perf_report import append_entry, load_history
+from repro.analysis.perf_report import (append_entry, infer_shape,
+                                        load_history)
 from repro.analysis.parallel import (SweepCell, WorkerPool,
                                      resolve_chunksize, resolve_jobs,
                                      run_cells)
@@ -89,6 +90,7 @@ def best_comparable_rate(history, n_cells: int, cores: int):
     """
     rates = [entry.get("serial_insts_per_second") for entry in history
              if entry.get("benchmark") == "smoke_guard"
+             and infer_shape(entry) == "serial"
              and entry.get("trace_length") == LENGTH
              and entry.get("cells") == n_cells
              and entry.get("cpu_count") == cores
@@ -138,6 +140,7 @@ def check_throughput(cells, serial, serial_s: float, cores: int,
             return  # a failed run must not enter the history
     append_entry(RESULT_PATH, {
         "benchmark": "smoke_guard",
+        "shape": "serial",
         **provenance(),
         "cpu_count": cores,
         "cells": len(serial),

@@ -25,6 +25,14 @@ Run directly (``python benchmarks/bench_wallclock.py``) or via
 worker count (default: all cores), ``REPRO_TRACE_LEN`` the per-cell
 trace length, ``REPRO_CHUNKSIZE`` the cells per worker dispatch.
 
+``--sampled`` runs the checkpointed-sampling benchmark instead
+(docs/SAMPLING.md): each workload gets one full detailed
+million-instruction reference run and one sampled run at the
+validated plan (16 windows of 200+1200), and the entry records
+per-workload IPC error, effective insts/s and speedup with
+``"shape": "sampled"`` so the detailed-throughput regression guard
+never mixes the two populations.
+
 The recorded ``cpu_count`` is what makes the speedup interpretable:
 on a single-core host the parallel path degenerates to process overhead
 and the honest speedup is ~1x or below; the >= 1.5x criterion applies
@@ -158,10 +166,108 @@ def cache_timings(cells, serial) -> dict:
     }
 
 
-def main() -> int:
+#: The sampled benchmark's plan and population (docs/SAMPLING.md).
+#: The workloads are the suite members the k16/200+1200 plan was
+#: validated on; the acceptance bar is >= 6 of them inside both the
+#: accuracy and throughput envelopes on an idle host.
+SAMPLED_WORKLOADS = ("mesatexgen", "cjpeg", "rawcaudio", "mpeg2enc",
+                     "mesaosdemo", "rasta", "gsmdec", "pgpdec")
+SAMPLED_LENGTH = 1_000_000
+SAMPLED_MAX_ERROR = 0.02
+SAMPLED_MIN_SPEEDUP = 20.0
+
+
+def sampled_benchmark() -> int:
+    """Detailed-vs-sampled benchmark; appends a ``shape: sampled`` entry."""
+    from repro.analysis.sampling import SamplingConfig
+    from repro.isa.executor import FunctionalExecutor
+    from repro.workloads import build_workload
+
+    sampling = SamplingConfig(interval=1200, warmup=200, samples=16)
+    config = make_config(2, predictor="stride", steering="vpb")
+    print(f"sampled sweep: {len(SAMPLED_WORKLOADS)} workloads x "
+          f"{SAMPLED_LENGTH} insts, {sampling.samples} windows of "
+          f"{sampling.warmup}+{sampling.interval} (2 clusters, "
+          f"stride/vpb)")
+
+    rows = []
+    for name in SAMPLED_WORKLOADS:
+        start = time.perf_counter()
+        detailed = simulate(
+            FunctionalExecutor(build_workload(name), SAMPLED_LENGTH).run(),
+            config, max_instructions=SAMPLED_LENGTH)
+        detailed_s = time.perf_counter() - start
+        ref_ipc = detailed.stats.committed_insts / detailed.stats.cycles
+
+        sampled = simulate(build_workload(name), config,
+                           max_instructions=SAMPLED_LENGTH,
+                           sampling=sampling, workload_name=name)
+        error = (sampled.ipc - ref_ipc) / ref_ipc
+        detailed_rate = detailed.stats.committed_insts / detailed_s
+        speedup = sampled.effective_insts_per_second / detailed_rate
+        passed = (abs(error) <= SAMPLED_MAX_ERROR
+                  and speedup >= SAMPLED_MIN_SPEEDUP)
+        rows.append({
+            "workload": name,
+            "detailed_ipc": round(ref_ipc, 4),
+            "sampled_ipc": round(sampled.ipc, 4),
+            "ipc_error": round(error, 4),
+            "ipc_ci95": round(sampled.ipc_ci95, 4),
+            "detailed_seconds": round(detailed_s, 3),
+            "sampled_seconds": round(sampled.wall_seconds, 3),
+            "detailed_insts_per_second": rate_of(
+                detailed.stats.committed_insts, detailed_s),
+            "effective_insts_per_second": round(
+                sampled.effective_insts_per_second, 1),
+            "speedup": round(speedup, 2),
+            "within_bars": passed,
+        })
+        print(f"  {name:12s}: sampled {sampled.ipc:.4f} vs detailed "
+              f"{ref_ipc:.4f} ({error:+.2%}), {speedup:.1f}x "
+              f"[{'ok' if passed else 'MISS'}]")
+
+    passing = sum(row["within_bars"] for row in rows)
+    errors = [abs(row["ipc_error"]) for row in rows]
+    entry = {
+        "benchmark": "sampled_sweep",
+        "shape": "sampled",
+        **provenance(),
+        "cpu_count": os.cpu_count(),
+        "trace_length": SAMPLED_LENGTH,
+        "sampling": sampling.canonical_dict(),
+        "config": {"clusters": 2, "predictor": "stride",
+                   "steering": "vpb"},
+        "workloads": rows,
+        "max_ipc_error": round(max(errors), 4),
+        "mean_ipc_error": round(sum(errors) / len(errors), 4),
+        "min_speedup": min(row["speedup"] for row in rows),
+        "median_speedup": sorted(row["speedup"] for row in rows)[
+            len(rows) // 2],
+        "workloads_within_bars": passing,
+        "bars": {"max_ipc_error": SAMPLED_MAX_ERROR,
+                 "min_speedup": SAMPLED_MIN_SPEEDUP,
+                 "min_workloads": 6},
+    }
+    append_entry(RESULT_PATH, entry)
+    print(f"{passing}/{len(rows)} workloads within both bars "
+          f"(need >= 6); max |error| {entry['max_ipc_error']:.2%}, "
+          f"median speedup {entry['median_speedup']:.1f}x")
+    print(f"recorded in {RESULT_PATH}")
+    return 0 if passing >= 6 else 1
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sampled", action="store_true",
+                        help="run the checkpointed-sampling benchmark "
+                             "instead of the sweep-parallelism one")
+    args = parser.parse_args(argv)
     # Shadow any ambient REPRO_CACHE: the serial/parallel timings must
     # measure simulation, and the cache section brings its own cache.
     with use_cache(None):
+        if args.sampled:
+            return sampled_benchmark()
         return _main()
 
 

@@ -31,6 +31,8 @@ from .parallel import (CellFailure, CellOutcome, SweepCell, WorkerPool,
                        simulate_sweep_cell)
 from .report import (bar, format_ablation, format_figure2, format_figure3,
                      format_figure4, format_figure5, format_headline, table)
+from .sampling import (SampledResult, SampleWindow, SamplingConfig,
+                       simulate_sampled)
 from .timeline import (capture_timeline, pipeline_timeline,
                        render_timeline, timeline_from_events)
 
@@ -65,4 +67,5 @@ __all__ = [
     "format_figure4", "format_figure5", "format_headline", "table",
     "capture_timeline", "pipeline_timeline",
     "render_timeline", "timeline_from_events",
+    "SampledResult", "SampleWindow", "SamplingConfig", "simulate_sampled",
 ]

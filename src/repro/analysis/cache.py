@@ -157,6 +157,14 @@ class ResultCache:
             "seed": cell.seed,
             "length": cell.length,
         }
+        sampling = getattr(cell, "sampling", None)
+        if sampling is not None:
+            # Sampled estimates are a different observable than exact
+            # runs of the same cell — the sampling plan is part of the
+            # result's identity (checkpoint_dir is not: it only
+            # affects where fast-forward state is shared, never what
+            # the estimate is).
+            payload["sampling"] = sampling.canonical_dict()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

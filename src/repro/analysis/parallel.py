@@ -60,8 +60,10 @@ from ..core import SimResult, make_config, simulate
 from ..errors import (ConfigError, DeadlockError, DivergenceError,
                       ReproError, SimulationError, WorkloadError)
 from ..obs.telemetry import SweepMonitor, active_monitor, use_monitor
-from ..workloads import DEFAULT_TRACE_LENGTH, workload_trace
+from ..workloads import (DEFAULT_TRACE_LENGTH, build_workload,
+                         workload_trace)
 from .cache import ResultCache, default_cache
+from .sampling import SamplingConfig, simulate_sampled
 
 __all__ = ["SweepCell", "CellFailure", "CellOutcome", "WorkerPool",
            "active_pool", "cell_seed", "is_transient_error", "run_cells",
@@ -295,6 +297,18 @@ class SweepCell:
         overrides: extra :class:`~repro.core.ProcessorConfig` fields as
             a sorted tuple of (name, value) pairs, picklable by
             construction.
+        sampling: when given (a frozen
+            :class:`~repro.analysis.sampling.SamplingConfig`), the cell
+            runs as a *sampled* simulation over ``length`` instructions
+            and produces a
+            :class:`~repro.analysis.sampling.SampledResult` instead of
+            a :class:`~repro.core.SimResult`.  This is how
+            million-instruction cells stay affordable inside sweeps.
+        checkpoint_dir: optional directory for a shared
+            :class:`~repro.core.snapshot.CheckpointStore`; sampled
+            cells publish (and, without predictor warming, reuse)
+            fast-forward checkpoints there.  Never part of the result's
+            identity — it only affects speed.
     """
 
     key: Any
@@ -306,6 +320,8 @@ class SweepCell:
     seed: int = 0
     dataset: str = "test"
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    sampling: Optional[SamplingConfig] = None
+    checkpoint_dir: Optional[str] = None
 
     @staticmethod
     def pack_overrides(overrides: Dict[str, Any]
@@ -355,12 +371,25 @@ def simulate_sweep_cell(cell: SweepCell) -> SimResult:
 
     This is the single simulation path shared by the serial and the
     parallel runners — and by :func:`repro.analysis.experiments.run_one`
-    — so the three are metric-identical by construction.
+    — so the three are metric-identical by construction.  Cells with a
+    ``sampling`` config route through
+    :func:`~repro.analysis.sampling.simulate_sampled` on the workload
+    *program* (the trace is never materialized) and return a
+    :class:`~repro.analysis.sampling.SampledResult`.
     """
-    trace = workload_trace(cell.workload, cell.length,
-                           dataset=cell.dataset, seed=cell.seed)
     config = make_config(cell.n_clusters, predictor=cell.predictor,
                          steering=cell.steering, **dict(cell.overrides))
+    if cell.sampling is not None:
+        program = build_workload(cell.workload, dataset=cell.dataset,
+                                 seed=cell.seed)
+        return simulate_sampled(program, config, cell.sampling,
+                                max_instructions=cell.length,
+                                checkpoints=cell.checkpoint_dir,
+                                workload_name=cell.workload,
+                                dataset=cell.dataset, seed=cell.seed,
+                                monitor=active_monitor())
+    trace = workload_trace(cell.workload, cell.length,
+                           dataset=cell.dataset, seed=cell.seed)
     return simulate(list(trace), config)
 
 

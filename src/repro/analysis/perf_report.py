@@ -35,10 +35,10 @@ import json
 import pathlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["BENCH_SCHEMA", "DEFAULT_THRESHOLD", "append_entry",
+__all__ = ["BENCH_SCHEMA", "DEFAULT_THRESHOLD", "SHAPES", "append_entry",
            "dedup_history", "entry_identity", "find_regressions",
-           "load_history", "normalize_entry", "render_dashboard",
-           "shape_key"]
+           "infer_shape", "load_history", "normalize_entry",
+           "render_dashboard", "shape_key"]
 
 #: Schema tag stamped on every entry written through
 #: :func:`append_entry`.  v1 is the implicit schema of the organic
@@ -52,8 +52,37 @@ DEFAULT_THRESHOLD = 0.20
 
 #: Fields ignored when deciding whether two entries are duplicates:
 #: re-running an unchanged benchmark twice in a minute produces two
-#: entries identical but for these.
-_IDENTITY_VOLATILE = ("timestamp_utc", "schema")
+#: entries identical but for these.  ``shape`` is derived
+#: deterministically (see :func:`infer_shape`), so a healed and an
+#: unhealed copy of the same measurement still deduplicate.
+_IDENTITY_VOLATILE = ("timestamp_utc", "schema", "shape")
+
+#: The measurement shapes an entry can be tagged with.  ``serial`` and
+#: ``parallel`` are detailed-simulation wall-clock measurements;
+#: ``sampled`` entries report *effective* (represented-instructions)
+#: rates, which are not comparable to detailed throughput and must
+#: never feed the detailed regression guard.
+SHAPES = ("serial", "parallel", "sampled")
+
+
+def infer_shape(entry: dict) -> str:
+    """The measurement shape of an entry, for legacy untagged entries.
+
+    Sampled entries are recognized by their effective-rate field or
+    sampling section; entries that only measured a parallel sweep are
+    ``parallel``; everything else — including the historic
+    ``sweep_wallclock``/``smoke_guard`` entries, whose guarded metric
+    is the serial rate — is ``serial``.
+    """
+    shape = entry.get("shape")
+    if shape in SHAPES:
+        return shape
+    if "effective_insts_per_second" in entry or "sampling" in entry:
+        return "sampled"
+    if ("parallel_insts_per_second" in entry
+            and "serial_insts_per_second" not in entry):
+        return "parallel"
+    return "serial"
 
 
 def load_history(path) -> List[dict]:
@@ -82,9 +111,12 @@ def normalize_entry(entry: dict) -> dict:
 
     Entries predating the schema tag pass through unmodified except
     for ordering — their fields are already what the readers expect.
+    Legacy entries with no explicit ``shape`` are healed with the
+    inferred one, so every rewrite leaves a fully tagged history.
     """
     normalized = dict(entry)
     normalized.setdefault("schema", BENCH_SCHEMA)
+    normalized["shape"] = infer_shape(normalized)
     return {key: normalized[key] for key in sorted(normalized)}
 
 
@@ -129,9 +161,16 @@ def append_entry(path, entry: dict) -> List[dict]:
 
 
 def shape_key(entry: dict) -> Tuple:
-    """What makes two entries rate-comparable."""
-    return (entry.get("benchmark"), entry.get("trace_length"),
-            entry.get("cells"), entry.get("cpu_count"))
+    """What makes two entries rate-comparable.
+
+    Includes the measurement shape: a ``sampled`` entry's effective
+    rate lives on a different axis than detailed serial/parallel
+    throughput, so same-shape matching alone keeps sampled entries out
+    of the detailed-throughput regression guard.
+    """
+    return (entry.get("benchmark"), infer_shape(entry),
+            entry.get("trace_length"), entry.get("cells"),
+            entry.get("cpu_count"))
 
 
 def find_regressions(history: Sequence[dict],
@@ -158,8 +197,8 @@ def find_regressions(history: Sequence[dict],
                 "benchmark": entry.get("benchmark"),
                 "commit": entry.get("commit"),
                 "timestamp_utc": entry.get("timestamp_utc"),
-                "shape": {"trace_length": shape[1], "cells": shape[2],
-                          "cpu_count": shape[3]},
+                "shape": {"shape": shape[1], "trace_length": shape[2],
+                          "cells": shape[3], "cpu_count": shape[4]},
                 "rate": rate,
                 "best": best[0],
                 "best_commit": best[1],
@@ -197,20 +236,33 @@ def _trajectory_section(lines: List[str], history: Sequence[dict]) -> None:
         shapes.setdefault(shape_key(entry), []).append(entry)
     for shape in sorted(shapes, key=lambda s: str(s)):
         entries = shapes[shape]
-        benchmark, length, cells, cores = shape
-        lines.append(f"### {benchmark or 'unknown'} — {cells} cells × "
+        benchmark, kind, length, cells, cores = shape
+        lines.append(f"### {benchmark or 'unknown'} [{kind}] — "
+                     f"{cells} cells × "
                      f"{_fmt(length, ',')} insts (cpu_count={cores})")
         lines.append("")
-        lines.append("| commit | timestamp (UTC) | serial insts/s "
-                     "| parallel insts/s | speedup |")
-        lines.append("|---|---|---:|---:|---:|")
-        for entry in entries:
-            lines.append(
-                f"| {entry.get('commit') or '—'} "
-                f"| {entry.get('timestamp_utc') or '—'} "
-                f"| {_fmt_rate(entry.get('serial_insts_per_second'))} "
-                f"| {_fmt_rate(entry.get('parallel_insts_per_second'))} "
-                f"| {_fmt(entry.get('speedup'), '.2f')} |")
+        if kind == "sampled":
+            lines.append("| commit | timestamp (UTC) | effective insts/s "
+                         "| speedup | max IPC err |")
+            lines.append("|---|---|---:|---:|---:|")
+            for entry in entries:
+                lines.append(
+                    f"| {entry.get('commit') or '—'} "
+                    f"| {entry.get('timestamp_utc') or '—'} "
+                    f"| {_fmt_rate(entry.get('effective_insts_per_second'))} "
+                    f"| {_fmt(entry.get('speedup'), '.1f')} "
+                    f"| {_fmt(entry.get('max_ipc_error'), '.2%')} |")
+        else:
+            lines.append("| commit | timestamp (UTC) | serial insts/s "
+                         "| parallel insts/s | speedup |")
+            lines.append("|---|---|---:|---:|---:|")
+            for entry in entries:
+                lines.append(
+                    f"| {entry.get('commit') or '—'} "
+                    f"| {entry.get('timestamp_utc') or '—'} "
+                    f"| {_fmt_rate(entry.get('serial_insts_per_second'))} "
+                    f"| {_fmt_rate(entry.get('parallel_insts_per_second'))} "
+                    f"| {_fmt(entry.get('speedup'), '.2f')} |")
         lines.append("")
 
 

@@ -122,6 +122,7 @@ def _cell_record(cell: CellTelemetry) -> Dict[str, Any]:
         "seed": cell.seed,
         "dataset": cell.dataset,
         "length": cell.length,
+        "sampling": cell.sampling,
         "seconds": round(cell.seconds, 6),
         "cached": cell.cached,
         "stored": cell.stored,

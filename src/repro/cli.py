@@ -7,6 +7,10 @@ Commands:
   ``--trace-out`` / ``--metrics-out`` / ``--metrics-interval`` /
   ``--profile`` attach the observability layer
   (docs/OBSERVABILITY.md).
+  ``--sample-interval`` switches to checkpointed, sampled simulation
+  (docs/SAMPLING.md) for million-instruction runs.
+* ``checkpoint`` — save / inspect / resume machine snapshots
+  (docs/SAMPLING.md).
 * ``trace`` — ASCII pipeline diagram of a window of the dynamic
   stream, optionally also writing a Perfetto-loadable trace file.
 * ``figure2`` / ``figure3`` / ``figure4a`` / ``figure4b`` / ``figure5``
@@ -91,6 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--profile", action="store_true",
                      help="attribute host wall-clock time across "
                           "simulator loop stages")
+    sim.add_argument("--sample-interval", type=int, default=None,
+                     metavar="N",
+                     help="switch to sampled simulation: measure N "
+                          "detailed instructions per window and "
+                          "fast-forward between windows "
+                          "(docs/SAMPLING.md)")
+    sim.add_argument("--sample-warmup", type=int, default=200,
+                     metavar="N",
+                     help="detailed instructions simulated and "
+                          "discarded before each measured window "
+                          "(default 200; needs --sample-interval)")
+    sim.add_argument("--samples", type=int, default=16, metavar="K",
+                     help="number of sample windows, one per equal "
+                          "stratum of the run (default 16; needs "
+                          "--sample-interval)")
+    sim.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="share fast-forward checkpoints for sampled "
+                          "runs under this directory (created if "
+                          "missing; needs --sample-interval)")
 
     trc = sub.add_parser(
         "trace",
@@ -155,6 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 0.20)")
     rep.add_argument("--fail-on-regression", action="store_true",
                      help="exit 1 when any regression is flagged")
+
+    ckpt = sub.add_parser(
+        "checkpoint",
+        help="save/inspect/resume machine snapshots (docs/SAMPLING.md)")
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_action", required=True)
+    ck_save = ckpt_sub.add_parser(
+        "save", help="fast-forward a workload and snapshot the "
+                     "architectural state")
+    ck_save.add_argument("workload", choices=workload_names())
+    ck_save.add_argument("--at", type=int, required=True, metavar="N",
+                         help="instruction position to snapshot at")
+    ck_save.add_argument("--out", required=True, metavar="PATH",
+                         help="snapshot file to write")
+    ck_save.add_argument("--max-insts", type=int, default=1_000_000,
+                         metavar="M",
+                         help="run cap recorded in the snapshot "
+                              "(default 1000000)")
+    ck_info = ckpt_sub.add_parser(
+        "info", help="print a snapshot's header without unpickling it")
+    ck_info.add_argument("path", metavar="PATH")
+    ck_resume = ckpt_sub.add_parser(
+        "resume", help="restore an executor snapshot and run a detailed "
+                       "window from it")
+    ck_resume.add_argument("path", metavar="PATH")
+    ck_resume.add_argument("--run", type=int, default=10_000, metavar="N",
+                           help="detailed instructions to simulate from "
+                                "the snapshot (default 10000)")
+    ck_resume.add_argument("--clusters", type=int, default=4,
+                           choices=(1, 2, 4))
+    ck_resume.add_argument("--predictor", default="none",
+                           choices=("none", "stride", "context",
+                                    "hybrid", "perfect"))
+    ck_resume.add_argument("--steering", default="baseline",
+                           choices=("baseline", "modified", "vpb",
+                                    "round-robin", "balance-only",
+                                    "dependence-only"))
+    ck_resume.add_argument("--comm-latency", type=int, default=1)
+    ck_resume.add_argument("--paths", type=int, default=None)
 
     for name, help_text in (
             ("figure2", "IPC of 1/2/4 clusters, +/- value prediction"),
@@ -244,6 +305,52 @@ def _validate_simulate_args(args) -> None:
     if interval is not None and interval < 1:
         raise ConfigError(
             f"--metrics-interval must be >= 1 cycle, got {interval}")
+    _validate_sampling_args(args)
+
+
+def _validate_sampling_args(args) -> None:
+    """Bounds-check the sampled-simulation flags (simulate only)."""
+    sample_interval = getattr(args, "sample_interval", None)
+    if sample_interval is None:
+        if getattr(args, "checkpoint_dir", None):
+            raise ConfigError(
+                "--checkpoint-dir only applies to sampled runs; add "
+                "--sample-interval")
+        return
+    if sample_interval < 1:
+        raise ConfigError(
+            f"--sample-interval must be >= 1 instruction, "
+            f"got {sample_interval}")
+    if args.sample_warmup < 0:
+        raise ConfigError(
+            f"--sample-warmup must be >= 0, got {args.sample_warmup}")
+    if sample_interval <= args.sample_warmup:
+        raise ConfigError(
+            f"--sample-interval ({sample_interval}) must exceed "
+            f"--sample-warmup ({args.sample_warmup}); the measured "
+            f"region would otherwise be empty or biased")
+    if args.samples < 1:
+        raise ConfigError(f"--samples must be >= 1, got {args.samples}")
+    for flag in ("trace_out", "metrics_out", "inject"):
+        if getattr(args, flag, None):
+            raise ConfigError(
+                f"--{flag.replace('_', '-')} is not supported with "
+                f"sampled runs: only the sample windows run in detail, "
+                f"so the artifact would cover a fraction of the stream")
+    if getattr(args, "profile", False):
+        raise ConfigError("--profile is not supported with sampled runs")
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if ckpt_dir:
+        try:
+            os.makedirs(ckpt_dir, exist_ok=True)
+            probe = os.path.join(ckpt_dir, ".write-probe")
+            with open(probe, "w", encoding="utf-8"):
+                pass
+            os.unlink(probe)
+        except OSError as error:
+            raise ConfigError(
+                f"--checkpoint-dir {ckpt_dir!r} is not writable: "
+                f"{error}") from None
 
 
 def _make_cli_config(args):
@@ -264,6 +371,9 @@ def _open_trace_sink(path: str, config_label: str):
 
 def _cmd_simulate(args) -> None:
     _validate_simulate_args(args)
+    if args.sample_interval is not None:
+        _run_sampled_simulate(args)
+        return
     fault_plan = FaultPlan.parse(args.inject) if args.inject else None
     trace = workload_trace(args.workload, args.length)
     config = _make_cli_config(args)
@@ -316,6 +426,82 @@ def _cmd_simulate(args) -> None:
         print(f"value detection     : {report.detected_values}/"
               f"{report.injected_values} "
               f"({report.detection_rate:.0%})")
+
+
+def _run_sampled_simulate(args) -> None:
+    """The --sample-interval branch of ``repro simulate``."""
+    from .analysis.sampling import SamplingConfig
+    from .workloads import build_workload
+    sampling = SamplingConfig(interval=args.sample_interval,
+                              warmup=args.sample_warmup,
+                              samples=args.samples)
+    program = build_workload(args.workload)
+    config = _make_cli_config(args)
+    result = simulate(program, config, max_instructions=args.length,
+                      check=args.check, sampling=sampling,
+                      checkpoints=args.checkpoint_dir,
+                      workload_name=args.workload)
+    print(result.summary())
+    if args.check:
+        print("golden check        : OK (every sample window "
+              "co-simulated)")
+
+
+def _cmd_checkpoint(args) -> None:
+    from .core import (read_snapshot_meta, restore_executor,
+                       save_executor)
+    if args.ckpt_action == "info":
+        meta = read_snapshot_meta(args.path)
+        print(f"schema   : {meta.schema} v{meta.version}")
+        print(f"kind     : {meta.kind}")
+        print(f"seq      : {meta.seq}")
+        if meta.kind == "machine":
+            print(f"cycle    : {meta.cycle}")
+            print(f"committed: {meta.committed_insts}")
+            print(f"config   : {meta.config_sha256}")
+        print(f"sha256   : {meta.sha256}")
+        for key, value in sorted(meta.extra.items()):
+            print(f"extra.{key}: {value}")
+        return
+    if args.ckpt_action == "save":
+        from .isa.executor import FunctionalExecutor
+        from .workloads import build_workload
+        if args.at < 0:
+            raise ConfigError(f"--at must be >= 0, got {args.at}")
+        if args.at >= args.max_insts:
+            raise ConfigError(
+                f"--at ({args.at}) must lie before the run cap "
+                f"--max-insts ({args.max_insts})")
+        executor = FunctionalExecutor(build_workload(args.workload),
+                                      args.max_insts)
+        done = executor.skip(args.at)
+        if done < args.at:
+            raise ConfigError(
+                f"{args.workload} halts after {done} instructions, "
+                f"before the requested position {args.at}")
+        meta = save_executor(args.out, executor,
+                             extra={"workload": args.workload,
+                                    "position": executor.seq})
+        print(f"checkpoint: {args.workload} @ {meta.seq} -> {args.out} "
+              f"(sha256 {meta.sha256[:12]}…)")
+        return
+    # resume
+    if args.run < 1:
+        raise ConfigError(f"--run must be >= 1, got {args.run}")
+    meta = read_snapshot_meta(args.path)
+    if meta.kind != "executor":
+        raise ConfigError(
+            f"{args.path} holds a {meta.kind!r} snapshot; 'checkpoint "
+            f"resume' replays executor checkpoints (use the Python API "
+            f"restore_processor for machine snapshots)")
+    executor = restore_executor(args.path)
+    config = _make_cli_config(args)
+    executor.max_instructions = executor.seq + args.run
+    result = simulate(executor.run(), config,
+                      max_instructions=args.run)
+    print(f"resumed {meta.extra.get('workload', '?')} @ {meta.seq} "
+          f"for {args.run} detailed instructions")
+    print(result.summary())
 
 
 def _cmd_trace(args) -> None:
@@ -549,6 +735,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_campaign(args)
         elif args.command == "cache":
             _cmd_cache(args)
+        elif args.command == "checkpoint":
+            _cmd_checkpoint(args)
         elif args.command == "report":
             _cmd_report(args)
         else:

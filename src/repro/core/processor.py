@@ -210,15 +210,36 @@ class Processor:
 
     # ------------------------------------------------------------------ run --
 
-    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+    def run(self, max_cycles: Optional[int] = None,
+            max_insts: Optional[int] = None) -> SimResult:
         """Simulate until the trace drains; returns the result bundle."""
-        if self.profiler is not None:
-            self._run_profiled(max_cycles)
-        else:
-            self._run_plain(max_cycles)
+        self.run_until(max_cycles, max_insts)
         return self._finalize()
 
-    def _run_plain(self, max_cycles: Optional[int]) -> None:
+    def run_until(self, max_cycles: Optional[int] = None,
+                  max_insts: Optional[int] = None):
+        """Advance the timing loop without finalizing; returns stats.
+
+        Stops at the cycle/instruction bound (checked at cycle
+        boundaries, so ``max_insts`` stops at the first cycle where the
+        committed count reaches it), or when the trace drains.  The loop
+        can be re-entered — sampling and snapshotting both rely on a
+        stopped machine resuming bit-identically — and the caller
+        finalizes exactly once via :meth:`run`'s tail or
+        :meth:`finalize`.
+        """
+        if self.profiler is not None:
+            self._run_profiled(max_cycles, max_insts)
+        else:
+            self._run_plain(max_cycles, max_insts)
+        return self.stats
+
+    def finalize(self) -> SimResult:
+        """Assemble the result bundle for a :meth:`run_until` caller."""
+        return self._finalize()
+
+    def _run_plain(self, max_cycles: Optional[int],
+                   max_insts: Optional[int] = None) -> None:
         """The uninstrumented (and profiler-free) timing loop.
 
         Per-cycle work is kept to the stage calls themselves; everything
@@ -230,9 +251,12 @@ class Processor:
         metrics = self.metrics
         interval = metrics.interval if metrics is not None else 0
         fetch = self.fetch
+        stats = self.stats
         while not (fetch.done and not self.rob):
             cycle = self.cycle
             if max_cycles is not None and cycle >= max_cycles:
+                break
+            if max_insts is not None and stats.committed_insts >= max_insts:
                 break
             if metrics is not None and cycle and cycle % interval == 0:
                 metrics.sample(self, cycle)
@@ -250,7 +274,8 @@ class Processor:
                 self.interconnect.prune(cycle)
             self.cycle = cycle + 1
 
-    def _run_profiled(self, max_cycles: Optional[int]) -> None:
+    def _run_profiled(self, max_cycles: Optional[int],
+                      max_insts: Optional[int] = None) -> None:
         """The same loop with host wall-clock attribution per stage.
 
         Stage order and semantics are identical to :meth:`_run_plain`;
@@ -268,6 +293,9 @@ class Processor:
         while not (self.fetch.done and not self.rob):
             cycle = self.cycle
             if max_cycles is not None and cycle >= max_cycles:
+                break
+            if (max_insts is not None
+                    and self.stats.committed_insts >= max_insts):
                 break
             t0 = clock()
             if metrics is not None and cycle and cycle % interval == 0:

@@ -42,7 +42,10 @@ def simulate(workload: Traceable, config: ProcessorConfig,
              fault_plan=None,
              tracer=None,
              metrics_interval: Optional[int] = None,
-             profile: bool = False) -> SimResult:
+             profile: bool = False,
+             sampling=None,
+             checkpoints=None,
+             workload_name: Optional[str] = None):
     """Simulate *workload* on the processor described by *config*.
 
     Args:
@@ -69,9 +72,28 @@ def simulate(workload: Traceable, config: ProcessorConfig,
         profile: attribute host wall-clock time across simulator loop
             stages, attached as ``result.profile``.
 
+        sampling: a :class:`~repro.analysis.sampling.SamplingConfig`;
+            routes the run through interval sampling (functional
+            fast-forward + detailed sample windows) and returns a
+            :class:`~repro.analysis.sampling.SampledResult` instead of
+            a :class:`SimResult`.
+        checkpoints: optional
+            :class:`~repro.core.snapshot.CheckpointStore` (or a
+            directory path) sharing fast-forward checkpoints across
+            sampled runs; only meaningful with *sampling*.
+        workload_name: label recorded in sampled results and used in
+            checkpoint keys; only meaningful with *sampling*.
+
     Every observer is strictly read-only: the committed stream and all
     ``SimStats`` fields are bit-identical with and without them.
     """
+    if sampling is not None:
+        # Lazy import: the sampling layer sits above the core.
+        from ..analysis.sampling import simulate_sampled
+        return simulate_sampled(workload, config, sampling,
+                                max_instructions=max_instructions,
+                                checkpoints=checkpoints, check=check,
+                                workload_name=workload_name)
     golden = None
     injector = None
     if check or fault_plan is not None:
@@ -93,12 +115,17 @@ def simulate(workload: Traceable, config: ProcessorConfig,
     if profile:
         from ..obs.profiler import PhaseProfiler
         profiler = PhaseProfiler()
+    executor = None
     if isinstance(workload, Program):
-        trace = FunctionalExecutor(workload, max_instructions).run()
+        executor = FunctionalExecutor(workload, max_instructions)
+        trace = executor.run()
     else:
         trace = iter(workload)
     processor = Processor(config, trace, golden=golden, injector=injector,
                           tracer=tracer, profiler=profiler)
+    # Kept reachable so repro.core.snapshot can capture the functional
+    # stream's cursor alongside the machine state.
+    processor.trace_executor = executor
     return processor.run(max_cycles=max_cycles)
 
 

@@ -144,6 +144,55 @@ class CombinedPredictor:
         self.gshare.update(pc, taken)
         self.bimodal.update(pc, taken)
 
+    def trainer(self, pc: int):
+        """A pre-bound ``train(taken)`` closure for one static branch.
+
+        Evolves chooser/gshare/bimodal counters and the global history
+        exactly as :meth:`update` does for this ``pc``; the three table
+        indices (bar gshare's history xor) are resolved at bind time.
+        Stats are *not* recorded — training observes the committed
+        stream, it does not predict.
+        """
+        gshare = self.gshare
+        gshare_counters = gshare._table.counters
+        gshare_mask = gshare._table.mask
+        history_mask = gshare._history_mask
+        bimodal_counters = self.bimodal._table.counters
+        bimodal_index = (pc >> 2) & self.bimodal._table.mask
+        chooser_counters = self._chooser.counters
+        chooser_index = (pc >> 2) & self._chooser.mask
+        gshare_pc = pc >> 2
+
+        def train(taken, gshare=gshare, gt=gshare_counters,
+                  gmask=gshare_mask, hmask=history_mask,
+                  bt=bimodal_counters, bi=bimodal_index,
+                  ct=chooser_counters, ci=chooser_index, gpc=gshare_pc):
+            history = gshare.history
+            gi = (gpc ^ history) & gmask
+            gshare_pred = gt[gi] >= 2
+            bimodal_pred = bt[bi] >= 2
+            if gshare_pred != bimodal_pred:
+                c = ct[ci]
+                if gshare_pred == taken:
+                    if c < 3:
+                        ct[ci] = c + 1
+                elif c > 0:
+                    ct[ci] = c - 1
+            c = gt[gi]
+            if taken:
+                if c < 3:
+                    gt[gi] = c + 1
+            elif c > 0:
+                gt[gi] = c - 1
+            gshare.history = ((history << 1) | taken) & hmask
+            c = bt[bi]
+            if taken:
+                if c < 3:
+                    bt[bi] = c + 1
+            elif c > 0:
+                bt[bi] = c - 1
+        return train
+
 
 class TakenPredictor:
     """Always predicts taken — a degenerate baseline for tests/ablations."""

@@ -13,6 +13,7 @@ sequences behave like the Alpha integers the paper's predictor saw.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional
 
 from .instruction import DynInst, Instruction
@@ -134,7 +135,38 @@ class FunctionalExecutor:
         self.max_instructions = max_instructions
         self.int_regs: List[int] = [0] * FP_BASE
         self.fp_regs: List[float] = [0.0] * (NUM_LOGICAL_REGS - FP_BASE)
+        # Execution cursor.  Kept on the instance (not as generator
+        # locals) so the executor can be snapshotted mid-run and a new
+        # ``run()`` generator resumes exactly where the old one stopped.
+        self.pc: int = program.code_base
+        self.seq: int = 0
+        self.halted: bool = False
         self._int_ops = _int_binops()
+        self._compiled: Optional[List[Callable[[], int]]] = None
+        self._train_hooks: Optional[tuple] = None
+        self._trained: Optional[List[Callable[[], int]]] = None
+
+    # -- pickling -------------------------------------------------------------
+
+    #: Derived attributes rebuilt on restore: the binop table holds
+    #: lambdas, the compiled fast-forward tables close over the live
+    #: register lists, and the training hooks reference external
+    #: predictor objects — none pickle, all are rebuilt (or, for hooks,
+    #: reinstalled by the caller) after restore.
+    _UNPICKLED = ("_int_ops", "_compiled", "_train_hooks", "_trained")
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in self._UNPICKLED:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._int_ops = _int_binops()
+        self._compiled = None
+        self._train_hooks = None
+        self._trained = None
 
     # -- register helpers ------------------------------------------------------
 
@@ -153,15 +185,24 @@ class FunctionalExecutor:
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> Iterator[DynInst]:
-        """Yield :class:`DynInst` records until ``halt`` or the cap."""
+        """Yield :class:`DynInst` records until ``halt`` or the cap.
+
+        Resumes from the instance cursor (``pc``/``seq``), so a partial
+        consumption — or a :meth:`skip` fast-forward — followed by a new
+        ``run()`` call continues the same dynamic stream.  The cursor is
+        committed *before* each yield: a snapshot taken while a consumer
+        holds the yielded instruction counts it as already delivered.
+        """
+        if self.halted:
+            return
         program = self.program
         memory = program.memory
         int_ops = self._int_ops
         read = self._read
         write = self._write
-        pc = program.code_base
+        pc = self.pc
         end_pc = program.code_base + len(program) * INSTRUCTION_BYTES
-        seq = 0
+        seq = self.seq
         cap = self.max_instructions
         while seq < cap:
             if not (program.code_base <= pc < end_pc):
@@ -213,6 +254,7 @@ class FunctionalExecutor:
                 target = inst.target
                 next_pc = inst.target
             elif name == "halt":
+                self.halted = True
                 return
             elif name in _FP_BINOPS:
                 result = _FP_BINOPS[name](src_values[0], src_values[1])
@@ -233,10 +275,435 @@ class FunctionalExecutor:
                 write(dest, result)
                 if dest == ZERO_REG:
                     result = 0
+            self.seq = seq + 1
+            self.pc = next_pc
             yield DynInst(seq, pc, op, dest, srcs, src_values, result,
                           mem_addr, taken, target)
             seq += 1
             pc = next_pc
+
+
+    # -- fast-forward ---------------------------------------------------------
+
+    def skip(self, count: int) -> int:
+        """Fast-forward up to *count* instructions; returns how many ran.
+
+        Architectural effects (registers, memory, ``pc``/``seq``) are
+        bit-identical to consuming the same instructions from
+        :meth:`run`; no :class:`DynInst` records are built, which is
+        what makes this the ≥10×-detailed fast-forward engine behind
+        sampled simulation.  Stops early at ``halt`` or the
+        ``max_instructions`` cap, exactly like :meth:`run`.
+        """
+        if self.halted or count <= 0:
+            return 0
+        n = min(count, self.max_instructions - self.seq)
+        if n <= 0:
+            return 0
+        if self._train_hooks is not None:
+            table = self._trained
+            if table is None:
+                table = self._trained = self._compile_train()
+        else:
+            table = self._compiled
+            if table is None:
+                table = self._compiled = self._compile()
+        base = self.program.code_base
+        idx = (self.pc - base) // INSTRUCTION_BYTES
+        if not 0 <= idx < len(table):
+            raise ExecutionError(f"PC out of code segment: {self.pc:#x}")
+        done = 0
+        while done < n:
+            nxt = table[idx]()
+            if nxt < 0:  # halt: pc stays on the halt instruction
+                idx = -nxt - 1
+                self.halted = True
+                break
+            idx = nxt
+            done += 1
+        self.pc = base + idx * INSTRUCTION_BYTES
+        self.seq += done
+        return done
+
+    # -- functional warming ---------------------------------------------------
+
+    def set_train_hooks(self, value=None, branch=None, target=None,
+                        mem=None, code=None, value_factory=None,
+                        branch_factory=None) -> None:
+        """Install functional-warming callbacks applied during :meth:`skip`.
+
+        With hooks installed, fast-forward additionally *observes* each
+        instruction the way the timing model's front end and decode
+        stage would, so microarchitectural predictor state can be
+        trained continuously at compiled speed (SMARTS-style functional
+        warming).  Architectural effects are unchanged — the hooks only
+        read state.
+
+        Args:
+            value: ``(pc, slot, actual)`` per integer source operand,
+                in slot order, skipping ``r0`` and fp-bank sources —
+                exactly the operands decode trains the value predictor
+                on.
+            branch: ``(pc, taken)`` per conditional branch, the
+                direction predictor's training event.
+            target: ``(pc, target)`` per taken control transfer
+                (conditional or not), the BTB's training event.
+            mem: ``(addr, is_write)`` per load/store, the D-cache
+                touch.
+            code: ``(pc)`` on each fetch-line change (the same
+                ``pc >> 5`` granularity the fetch engine tracks), the
+                I-cache touch.
+            value_factory: optional ``factory(pc, slot) -> train(actual)``
+                pre-binding the value hook per static operand (e.g.
+                :meth:`repro.predictor.StridePredictor.trainer`); used
+                instead of *value* when given, resolving table indices
+                once at compile time instead of per call.
+            branch_factory: optional ``factory(pc) -> train(taken)``
+                pre-binding the branch hook per static branch
+                (:meth:`repro.frontend.CombinedPredictor.trainer`).
+
+        Passing all ``None`` uninstalls.  Hooks do not survive
+        pickling: a restored executor fast-forwards plain until hooks
+        are installed again.
+        """
+        if value is None and branch is None and target is None \
+                and mem is None and code is None:
+            self._train_hooks = None
+        else:
+            self._train_hooks = (value, branch, target, mem, code,
+                                 value_factory, branch_factory)
+        self._trained = None
+
+    def _compile_train(self) -> List[Callable[[], int]]:
+        """Wrap the compiled table with the installed training hooks.
+
+        Instructions that train nothing (``nop``, fp-only arithmetic)
+        keep their plain closure, so the overhead is paid only where a
+        hook actually fires.  Branches re-evaluate their condition via
+        the shared :data:`_BRANCH_TESTS` table (the same functions
+        :meth:`run` uses), so the trained and plain paths cannot drift.
+        """
+        (value, branch, target, mem, code,
+         value_factory, branch_factory) = self._train_hooks
+        plain = self._compiled
+        if plain is None:
+            plain = self._compiled = self._compile()
+        program = self.program
+        ir = self.int_regs
+        base = program.code_base
+        size = len(program)
+        imin, wrap = _INT_MIN, _WRAP
+        table: List[Callable[[], int]] = []
+        # Fetch-line tracker shared by every closure, mirroring the
+        # fetch engine's ``_last_line``: the I-cache is touched once
+        # per line *transition*, not per instruction.  Every control
+        # transfer in the ISA carries a static target, so the set of
+        # instructions where a transition can *happen* is statically
+        # known — only those pay the runtime line check: an
+        # instruction whose sequential predecessor sits on a different
+        # line, or the target of a cross-line branch/jump.
+        line_cell = [None]
+        needs_line_check = [False] * size
+        prev_line = None
+        for i in range(size):
+            inst = program.at(base + i * INSTRUCTION_BYTES)
+            pc = base + i * INSTRUCTION_BYTES
+            if prev_line is None or pc >> 5 != prev_line:
+                needs_line_check[i] = True
+            prev_line = pc >> 5
+            if inst.target is not None and inst.target >> 5 != pc >> 5:
+                t_idx = (inst.target - base) // INSTRUCTION_BYTES
+                if 0 <= t_idx < size:
+                    needs_line_check[t_idx] = True
+
+        # Per-site trainers: a factory resolves table indices once per
+        # static operand/branch at compile time; without one, the
+        # generic hook is pre-bound with functools.partial so every
+        # closure variant below deals in uniform ``train(actual)`` /
+        # ``train(taken)`` callables.
+        if value_factory is not None:
+            make_value = value_factory
+        elif value is not None:
+            def make_value(pc, slot, value=value):
+                return partial(value, pc, slot)
+        else:
+            make_value = None
+        if branch_factory is not None:
+            make_branch = branch_factory
+        elif branch is not None:
+            def make_branch(pc, branch=branch):
+                return partial(branch, pc)
+        else:
+            make_branch = None
+
+        for i in range(size):
+            inst: Instruction = program.at(base + i * INSTRUCTION_BYTES)
+            name = inst.op.name
+            step = plain[i]
+            pc = base + i * INSTRUCTION_BYTES
+            imm = inst.imm
+            # Integer source operands in slot order, as decode sees
+            # them: fp-bank registers and r0 never train the value
+            # predictor.
+            vp_trainers = tuple(
+                (make_value(pc, slot), rid)
+                for slot, rid in enumerate(inst.srcs)
+                if rid != ZERO_REG and rid < FP_BASE
+            ) if make_value is not None else ()
+
+            if name in _BRANCH_TESTS:
+                cond = _BRANCH_TESTS[name]
+                tgt = (inst.target - base) // INSTRUCTION_BYTES
+                if not 0 <= tgt < size:
+                    tgt = size
+                a, b = inst.srcs
+                btrain = make_branch(pc) if make_branch is not None \
+                    else None
+
+                def tstep(cond=cond, a=a, b=b, pc=pc, tgt=tgt, nxt=i + 1,
+                          tpc=inst.target, vtr=vp_trainers, btrain=btrain,
+                          target=target):
+                    for train, rid in vtr:
+                        train(ir[rid])
+                    taken = cond(ir[a], ir[b])
+                    if btrain is not None:
+                        btrain(taken)
+                    if taken:
+                        if target is not None:
+                            target(pc, tpc)
+                        return tgt
+                    return nxt
+            elif name == "j" and target is not None:
+                def tstep(step=step, pc=pc, tpc=inst.target,
+                          target=target):
+                    target(pc, tpc)
+                    return step()
+            elif mem is not None and name in ("lw", "lb", "flw",
+                                              "sw", "sb", "fsw"):
+                wr = name in ("sw", "sb", "fsw")
+                a = inst.srcs[1] if wr else inst.srcs[0]
+
+                def tstep(step=step, a=a, imm=imm, wr=wr,
+                          vtr=vp_trainers, mem=mem):
+                    for train, rid in vtr:
+                        train(ir[rid])
+                    mem((ir[a] + imm - imin) % wrap + imin, wr)
+                    return step()
+            elif len(vp_trainers) == 1:
+                (t0, r0), = vp_trainers
+
+                def tstep(step=step, t0=t0, r0=r0):
+                    t0(ir[r0])
+                    return step()
+            elif len(vp_trainers) == 2:
+                (t0, r0), (t1, r1) = vp_trainers
+
+                def tstep(step=step, t0=t0, r0=r0, t1=t1, r1=r1):
+                    t0(ir[r0])
+                    t1(ir[r1])
+                    return step()
+            else:
+                tstep = step  # trains nothing: halt, nop, fp-only ops
+            if code is not None and needs_line_check[i]:
+                inner = tstep
+
+                def tstep(inner=inner, line=pc >> 5, pc=pc,
+                          cell=line_cell, code=code):
+                    if line != cell[0]:
+                        cell[0] = line
+                        code(pc)
+                    return inner()
+            table.append(tstep)
+
+        table.append(plain[size])  # shared off-segment sentinel
+        return table
+
+    def _compile(self) -> List[Callable[[], int]]:
+        """Build the per-static-instruction closure table for ``skip``.
+
+        Each closure applies one instruction's architectural effects and
+        returns the next static index (``-1 - own_index`` for ``halt``).
+        Closures capture the live register lists and the sparse memory
+        dict directly, so there is no per-instruction dispatch beyond
+        one call — this is what lifts fast-forward into the millions of
+        instructions per second.  Index ``len(program)`` holds a
+        sentinel that raises the same :class:`ExecutionError` as
+        :meth:`run` does when execution falls off the code segment.
+        """
+        program = self.program
+        ir = self.int_regs
+        fr = self.fp_regs
+        mem = program.memory._mem
+        base = program.code_base
+        size = len(program)
+        imin, wrap = _INT_MIN, _WRAP
+        int_ops = self._int_ops
+        table: List[Callable[[], int]] = []
+
+        for i in range(size):
+            inst: Instruction = program.at(base + i * INSTRUCTION_BYTES)
+            name = inst.op.name
+            d = inst.dest
+            s = inst.srcs
+            imm = inst.imm
+            nxt = i + 1
+            dead = d == ZERO_REG  # writes to r0 are dropped
+
+            if name in ("beq", "bne", "blt", "bge", "j"):
+                tgt = (inst.target - base) // INSTRUCTION_BYTES
+                if not 0 <= tgt < size:
+                    tgt = size  # sentinel raises, like run() would
+                a, b = (s[0], s[1]) if name != "j" else (0, 0)
+                if name == "j":
+                    step = lambda tgt=tgt: tgt
+                elif name == "beq":
+                    def step(a=a, b=b, tgt=tgt, nxt=nxt):
+                        return tgt if ir[a] == ir[b] else nxt
+                elif name == "bne":
+                    def step(a=a, b=b, tgt=tgt, nxt=nxt):
+                        return tgt if ir[a] != ir[b] else nxt
+                elif name == "blt":
+                    def step(a=a, b=b, tgt=tgt, nxt=nxt):
+                        return tgt if ir[a] < ir[b] else nxt
+                else:  # bge
+                    def step(a=a, b=b, tgt=tgt, nxt=nxt):
+                        return tgt if ir[a] >= ir[b] else nxt
+            elif name == "halt":
+                step = lambda stop=-1 - i: stop
+            elif name == "nop" or (dead and name not in ("sw", "sb", "fsw")):
+                # Pure ops targeting r0 are architectural no-ops: the
+                # result write is dropped and nothing here can fault
+                # (div-by-zero yields 0, loads read the sparse image).
+                step = lambda nxt=nxt: nxt
+            elif name in ("lw", "lb", "flw"):
+                a = s[0]
+                if name == "lw":
+                    def step(a=a, d=d, imm=imm, nxt=nxt):
+                        v = mem.get((ir[a] + imm - imin) % wrap + imin, 0)
+                        ir[d] = (int(v) - imin) % wrap + imin
+                        return nxt
+                elif name == "lb":
+                    def step(a=a, d=d, imm=imm, nxt=nxt):
+                        v = mem.get((ir[a] + imm - imin) % wrap + imin, 0)
+                        ir[d] = int(v) & 0xFF
+                        return nxt
+                else:  # flw
+                    df = d - FP_BASE
+                    def step(a=a, df=df, imm=imm, nxt=nxt):
+                        v = mem.get((ir[a] + imm - imin) % wrap + imin, 0)
+                        fr[df] = float(v)
+                        return nxt
+            elif name in ("sw", "sb", "fsw"):
+                v, a = s[0], s[1]
+                if name == "sw":
+                    def step(v=v, a=a, imm=imm, nxt=nxt):
+                        mem[(ir[a] + imm - imin) % wrap + imin] = ir[v]
+                        return nxt
+                elif name == "sb":
+                    def step(v=v, a=a, imm=imm, nxt=nxt):
+                        mem[(ir[a] + imm - imin) % wrap + imin] = \
+                            int(ir[v]) & 0xFF
+                        return nxt
+                else:  # fsw
+                    vf = v - FP_BASE
+                    def step(vf=vf, a=a, imm=imm, nxt=nxt):
+                        mem[(ir[a] + imm - imin) % wrap + imin] = fr[vf]
+                        return nxt
+            elif name == "add":
+                a, b = s
+                def step(a=a, b=b, d=d, nxt=nxt):
+                    ir[d] = (ir[a] + ir[b] - imin) % wrap + imin
+                    return nxt
+            elif name == "sub":
+                a, b = s
+                def step(a=a, b=b, d=d, nxt=nxt):
+                    ir[d] = (ir[a] - ir[b] - imin) % wrap + imin
+                    return nxt
+            elif name == "mul":
+                a, b = s
+                def step(a=a, b=b, d=d, nxt=nxt):
+                    ir[d] = (ir[a] * ir[b] - imin) % wrap + imin
+                    return nxt
+            elif name == "addi":
+                a = s[0]
+                def step(a=a, d=d, imm=imm, nxt=nxt):
+                    ir[d] = (ir[a] + imm - imin) % wrap + imin
+                    return nxt
+            elif name in ("li", "la"):
+                step = lambda d=d, imm=imm, nxt=nxt: \
+                    (ir.__setitem__(d, imm), nxt)[1]
+            elif name == "mov":
+                a = s[0]
+                step = lambda a=a, d=d, nxt=nxt: \
+                    (ir.__setitem__(d, ir[a]), nxt)[1]
+            elif name in int_ops or name in _IMM_ALIAS:
+                # Remaining integer forms share run()'s lambda table so
+                # the two paths can never drift apart semantically.
+                if name in _IMM_ALIAS:
+                    fn = int_ops[_IMM_ALIAS[name]]
+                    a = s[0]
+                    def step(fn=fn, a=a, d=d, imm=imm, nxt=nxt):
+                        ir[d] = fn(ir[a], imm)
+                        return nxt
+                else:
+                    fn = int_ops[name]
+                    a, b = s
+                    def step(fn=fn, a=a, b=b, d=d, nxt=nxt):
+                        ir[d] = fn(ir[a], ir[b])
+                        return nxt
+            elif name in _FP_BINOPS:
+                fn = _FP_BINOPS[name]
+                af, bf = s[0] - FP_BASE, s[1] - FP_BASE
+                df = d - FP_BASE
+                if name == "fadd":
+                    def step(af=af, bf=bf, df=df, nxt=nxt):
+                        fr[df] = fr[af] + fr[bf]
+                        return nxt
+                elif name == "fmul":
+                    def step(af=af, bf=bf, df=df, nxt=nxt):
+                        fr[df] = fr[af] * fr[bf]
+                        return nxt
+                else:
+                    def step(fn=fn, af=af, bf=bf, df=df, nxt=nxt):
+                        fr[df] = fn(fr[af], fr[bf])
+                        return nxt
+            elif name in _FP_COMPARES:
+                fn = _FP_COMPARES[name]
+                af, bf = s[0] - FP_BASE, s[1] - FP_BASE
+                def step(fn=fn, af=af, bf=bf, d=d, nxt=nxt):
+                    ir[d] = fn(fr[af], fr[bf])
+                    return nxt
+            elif name == "fmov":
+                af, df = s[0] - FP_BASE, d - FP_BASE
+                def step(af=af, df=df, nxt=nxt):
+                    fr[df] = fr[af]
+                    return nxt
+            elif name == "fneg":
+                af, df = s[0] - FP_BASE, d - FP_BASE
+                def step(af=af, df=df, nxt=nxt):
+                    fr[df] = -fr[af]
+                    return nxt
+            elif name == "cvtif":
+                a, df = s[0], d - FP_BASE
+                def step(a=a, df=df, nxt=nxt):
+                    fr[df] = float(ir[a])
+                    return nxt
+            elif name == "cvtfi":
+                af = s[0] - FP_BASE
+                def step(af=af, d=d, nxt=nxt):
+                    ir[d] = (int(fr[af]) - imin) % wrap + imin
+                    return nxt
+            else:  # pragma: no cover - opcode table is closed
+                raise ExecutionError(f"unimplemented opcode {name!r}")
+            table.append(step)
+
+        end_pc = base + size * INSTRUCTION_BYTES
+
+        def off_segment() -> int:  # pragma: no cover - malformed programs
+            raise ExecutionError(f"PC out of code segment: {end_pc:#x}")
+
+        table.append(off_segment)
+        return table
 
 
 def execute(program: Program, max_instructions: int = 1_000_000) -> List[DynInst]:

@@ -179,7 +179,39 @@ _RECEIPT_SECTIONS = {
 }
 
 _RECEIPT_CELL_FIELDS = ("key", "workload", "config", "config_sha256",
-                        "seed", "length", "seconds", "cached", "ok")
+                        "seed", "length", "sampling", "seconds", "cached",
+                        "ok")
+
+#: A non-null cell ``sampling`` block must carry these fields
+#: (:meth:`repro.analysis.sampling.SamplingConfig.canonical_dict`).
+_SAMPLING_FIELDS = ("interval", "warmup", "samples", "targets",
+                    "warm_predictors")
+
+
+def _check_cell_sampling(source: str, index: int, sampling) -> None:
+    """A cell's sampling block is null (exact run) or a coherent plan."""
+    if sampling is None:
+        return
+    if not isinstance(sampling, dict):
+        raise TraceSchemaError(
+            f"{source}: cells[{index}].sampling must be null or an "
+            f"object, got {type(sampling).__name__}")
+    missing = set(_SAMPLING_FIELDS) - set(sampling)
+    if missing:
+        raise TraceSchemaError(
+            f"{source}: cells[{index}].sampling missing fields "
+            f"{sorted(missing)}")
+    interval, warmup = sampling["interval"], sampling["warmup"]
+    if not isinstance(interval, int) or not isinstance(warmup, int) \
+            or not 0 <= warmup < interval:
+        raise TraceSchemaError(
+            f"{source}: cells[{index}].sampling needs integer "
+            f"interval > warmup >= 0, got interval={interval!r} "
+            f"warmup={warmup!r}")
+    if (sampling["samples"] is None) == (sampling["targets"] is None):
+        raise TraceSchemaError(
+            f"{source}: cells[{index}].sampling must set exactly one "
+            f"of samples/targets")
 
 
 def validate_receipt(receipt) -> int:
@@ -233,6 +265,7 @@ def validate_receipt(receipt) -> int:
             raise TraceSchemaError(
                 f"{source}: cells[{index}] missing fields "
                 f"{sorted(missing)}")
+        _check_cell_sampling(source, index, cell.get("sampling"))
     counts = receipt["counts"]
     cache = receipt["cache"]
     if counts["cells"] != len(cells):

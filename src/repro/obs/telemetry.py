@@ -163,6 +163,7 @@ class CellTelemetry:
     seed: int = 0
     dataset: str = "test"
     overrides: tuple = ()
+    sampling: Optional[dict] = None
     seconds: float = 0.0
     cached: bool = False
     stored: bool = False
@@ -174,6 +175,9 @@ class CellTelemetry:
         """Describe a :class:`~repro.analysis.parallel.SweepCell` (or
         any duck-typed cell description) without importing it —
         telemetry stays below the analysis layer."""
+        sampling = _cell_field(cell, "sampling")
+        if sampling is not None and hasattr(sampling, "canonical_dict"):
+            sampling = sampling.canonical_dict()
         return cls(
             key=str(_cell_field(cell, "key")),
             workload=str(_cell_field(cell, "workload", "")),
@@ -184,7 +188,8 @@ class CellTelemetry:
             length=int(_cell_field(cell, "length", 0) or 0),
             seed=int(_cell_field(cell, "seed", 0) or 0),
             dataset=str(_cell_field(cell, "dataset", "test")),
-            overrides=tuple(_cell_field(cell, "overrides", ()) or ()))
+            overrides=tuple(_cell_field(cell, "overrides", ()) or ()),
+            sampling=sampling)
 
 
 @dataclass

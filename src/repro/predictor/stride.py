@@ -130,6 +130,55 @@ class StridePredictor(ValuePredictor):
         self._last[index] = actual
         return Prediction(predicted, confident)
 
+    def trainer(self, pc: int, slot: int):
+        """A pre-bound ``train(actual)`` closure for one static operand.
+
+        State evolution is exactly :meth:`update` for this ``(pc,
+        slot)``; the table index and list handles are resolved once at
+        bind time, so the functional-warming fast path pays no index
+        arithmetic or attribute lookups per call.  Stats are *not*
+        recorded — training observes the committed stream, it does not
+        predict.
+        """
+        index = self._index(pc, slot)
+        last, stride = self._last, self._stride
+        prev, counter = self._prev_stride, self._counter
+        if self.two_delta:
+            def train(actual, index=index, last=last, stride=stride,
+                      prev=prev, counter=counter):
+                new_stride = (actual - last[index] - _INT_MIN) % _WRAP \
+                    + _INT_MIN
+                if new_stride == stride[index]:
+                    c = counter[index]
+                    if c < 3:
+                        counter[index] = c + 1
+                elif new_stride == prev[index]:
+                    stride[index] = new_stride
+                    counter[index] = 1
+                else:
+                    c = counter[index]
+                    if c > 0:
+                        counter[index] = c - 1
+                prev[index] = new_stride
+                last[index] = actual
+        else:
+            def train(actual, index=index, last=last, stride=stride,
+                      prev=prev, counter=counter):
+                new_stride = (actual - last[index] - _INT_MIN) % _WRAP \
+                    + _INT_MIN
+                if new_stride == stride[index]:
+                    c = counter[index]
+                    if c < 3:
+                        counter[index] = c + 1
+                else:
+                    stride[index] = new_stride
+                    c = counter[index]
+                    if c > 0:
+                        counter[index] = c - 1
+                prev[index] = new_stride
+                last[index] = actual
+        return train
+
     def entry(self, pc: int, slot: int) -> tuple:
         """(last, stride, counter) for tests and introspection."""
         index = self._index(pc, slot)

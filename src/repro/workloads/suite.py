@@ -24,7 +24,8 @@ from .media_image import (build_cjpeg, build_djpeg, build_epicdec,
 from .media_video import build_mpeg2enc
 
 __all__ = ["WorkloadSpec", "SUITE", "workload_names", "build_workload",
-           "workload_trace", "clear_trace_cache", "DEFAULT_TRACE_LENGTH"]
+           "workload_trace", "workload_trace_iter", "clear_trace_cache",
+           "DEFAULT_TRACE_LENGTH", "TRACE_CACHE_MAX"]
 
 #: Default dynamic-trace length for experiments.  The paper ran 6M-440M
 #: instructions per benchmark on a C simulator; a Python cycle-level
@@ -104,6 +105,14 @@ def build_workload(name: str, dataset: str = "test",
 
 _trace_cache: Dict[Tuple[str, int, str, int], List[DynInst]] = {}
 
+#: Longest trace :func:`workload_trace` will memoize.  A cached DynInst
+#: costs a few hundred bytes; million-instruction traces would pin
+#: hundreds of MB per (workload, length) key.  Above this bound the
+#: list is still returned, just not retained — and callers running at
+#: that scale should be on :func:`workload_trace_iter` or a
+#: :class:`~repro.isa.program.Program` anyway.
+TRACE_CACHE_MAX = 200_000
+
 
 def workload_trace(name: str,
                    max_instructions: int = DEFAULT_TRACE_LENGTH,
@@ -113,15 +122,35 @@ def workload_trace(name: str,
 
     Reusing the cached list across simulator configurations keeps every
     comparison on the exact same instruction stream, like the paper's
-    fixed binaries did.
+    fixed binaries did.  Traces longer than :data:`TRACE_CACHE_MAX` are
+    generated but not memoized; for bounded-memory million-instruction
+    runs use :func:`workload_trace_iter`.
     """
     key = (name, max_instructions, dataset, seed)
     trace = _trace_cache.get(key)
     if trace is None:
         program = build_workload(name, dataset=dataset, seed=seed)
         trace = list(FunctionalExecutor(program, max_instructions).run())
-        _trace_cache[key] = trace
+        if max_instructions <= TRACE_CACHE_MAX:
+            _trace_cache[key] = trace
     return trace
+
+
+def workload_trace_iter(name: str,
+                        max_instructions: int = DEFAULT_TRACE_LENGTH,
+                        dataset: str = "test", seed: int = 0):
+    """Lazily yield the dynamic trace of *name*, one DynInst at a time.
+
+    The streaming counterpart of :func:`workload_trace` for
+    ``length ≥ 1M`` runs: memory stays bounded by the executor's
+    architectural state (registers + sparse memory image), never by
+    trace length, because instructions are generated on demand and
+    dropped once consumed.  Generation is the same pure function of
+    (name, dataset, seed), so the stream is bit-identical to the
+    cached list's contents.
+    """
+    program = build_workload(name, dataset=dataset, seed=seed)
+    return FunctionalExecutor(program, max_instructions).run()
 
 
 def clear_trace_cache() -> None:

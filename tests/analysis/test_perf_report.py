@@ -35,10 +35,15 @@ class TestHistoryIO:
 
     def test_normalize_tags_schema_and_sorts_keys(self):
         normalized = normalize_entry({"z": 1, "a": 2})
-        assert list(normalized) == ["a", "schema", "z"]
+        # Normalization tags the schema, heals a measurement shape onto
+        # legacy entries, and emits keys in stable sorted order.
+        assert list(normalized) == ["a", "schema", "shape", "z"]
         assert normalized["schema"] == BENCH_SCHEMA
-        # An already-tagged (or pre-schema v1) entry keeps its tag.
+        assert normalized["shape"] == "serial"
+        # An already-tagged (or pre-schema v1) entry keeps its tag, and
+        # an explicit shape is never overwritten.
         assert normalize_entry({"schema": "v1"})["schema"] == "v1"
+        assert normalize_entry({"shape": "sampled"})["shape"] == "sampled"
 
     def test_dedup_ignores_timestamp_and_schema_only(self):
         first = _entry(100_000.0)

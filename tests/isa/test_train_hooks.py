@@ -1,0 +1,86 @@
+"""Functional-warming train hooks: the compiled fast-forward path with
+hooks installed must observe exactly what decode observes, and the
+pre-bound factory closures must train bit-identically to the generic
+``(pc, slot, actual)`` callbacks they replace."""
+
+from repro.core import make_config
+from repro.frontend.branch_predictor import CombinedPredictor
+from repro.isa.executor import FunctionalExecutor
+from repro.predictor.stride import StridePredictor
+from repro.workloads import build_workload
+
+WORKLOAD = "gsmenc"
+LENGTH = 30_000
+
+
+def _predictor_pair(config):
+    vp = StridePredictor(entries=config.vp_entries)
+    bp = CombinedPredictor()
+    return vp, bp
+
+
+def _vp_state(vp):
+    return (list(vp._last), list(vp._stride), list(vp._prev_stride),
+            list(vp._counter))
+
+
+def _bp_state(bp):
+    return (list(bp.bimodal._table.counters),
+            list(bp.gshare._table.counters),
+            list(bp._chooser.counters),
+            bp.gshare.history)
+
+
+def _run(config, *, factories):
+    vp, bp = _predictor_pair(config)
+    executor = FunctionalExecutor(build_workload(WORKLOAD), LENGTH)
+    kwargs = dict(
+        value=lambda pc, slot, actual: vp.predict_update(pc, slot, actual),
+        branch=lambda pc, taken: bp.update(pc, taken))
+    if factories:
+        kwargs.update(value_factory=vp.trainer, branch_factory=bp.trainer)
+    executor.set_train_hooks(**kwargs)
+    executor.skip(LENGTH)
+    return executor, vp, bp
+
+
+class TestFactoryEquivalence:
+    def test_factory_training_is_bit_identical_to_generic(self):
+        config = make_config(2, predictor="stride", steering="vpb")
+        generic_exec, gvp, gbp = _run(config, factories=False)
+        factory_exec, fvp, fbp = _run(config, factories=True)
+
+        assert generic_exec.seq == factory_exec.seq
+        assert generic_exec.int_regs == factory_exec.int_regs
+        assert _vp_state(gvp) == _vp_state(fvp)
+        assert _bp_state(gbp) == _bp_state(fbp)
+
+    def test_architectural_results_unchanged_by_hooks(self):
+        config = make_config(2, predictor="stride", steering="vpb")
+        plain = FunctionalExecutor(build_workload(WORKLOAD), LENGTH)
+        plain.skip(LENGTH)
+        hooked, _, _ = _run(config, factories=True)
+        assert hooked.seq == plain.seq
+        assert hooked.pc == plain.pc
+        assert hooked.int_regs == plain.int_regs
+        assert hooked.fp_regs == plain.fp_regs
+
+    def test_training_actually_happened(self):
+        config = make_config(2, predictor="stride", steering="vpb")
+        _, vp, bp = _run(config, factories=True)
+        untrained_vp, untrained_bp = _predictor_pair(config)
+        assert _vp_state(vp) != _vp_state(untrained_vp)
+        assert _bp_state(bp) != _bp_state(untrained_bp)
+
+    def test_uninstall_restores_plain_skip(self):
+        executor = FunctionalExecutor(build_workload(WORKLOAD), LENGTH)
+        vp, bp = _predictor_pair(make_config(2, predictor="stride"))
+        executor.set_train_hooks(value_factory=vp.trainer,
+                                 branch_factory=bp.trainer,
+                                 value=lambda *a: None,
+                                 branch=lambda *a: None)
+        executor.skip(1_000)
+        state_after = _vp_state(vp)
+        executor.set_train_hooks()     # all None: uninstall
+        executor.skip(1_000)
+        assert _vp_state(vp) == state_after

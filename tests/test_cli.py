@@ -252,3 +252,95 @@ class TestTelemetryCli:
         assert validate_telemetry_jsonl(str(telemetry)) > 0
         events = telemetry.read_text()
         assert "fault-campaign" in events
+
+
+class TestSampledSimulateCli:
+    """`simulate --sample-interval` and its validation surface."""
+
+    def test_sampled_simulate_prints_sampled_summary(self, capsys):
+        code = main(["simulate", "cjpeg", "--clusters", "2",
+                     "--predictor", "stride", "--steering", "vpb",
+                     "--length", "40000", "--sample-interval", "500",
+                     "--sample-warmup", "100", "--samples", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled run" in out
+        assert "4 windows" in out
+        assert "95% CI" in out
+
+    def test_checkpoint_dir_is_populated(self, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        code = main(["simulate", "cjpeg", "--length", "40000",
+                     "--sample-interval", "500", "--sample-warmup",
+                     "100", "--samples", "4", "--checkpoint-dir",
+                     str(ckpts)])
+        assert code == 0
+        assert list(ckpts.glob("*.ckpt"))
+
+    @pytest.mark.parametrize("extra", [
+        ["--sample-interval", "0"],
+        ["--sample-interval", "500", "--sample-warmup", "-1"],
+        ["--sample-interval", "100", "--sample-warmup", "100"],
+        ["--sample-interval", "500", "--samples", "0"],
+        ["--checkpoint-dir", "/tmp/x"],          # without sampling
+    ])
+    def test_bad_sampling_flags_are_usage_errors(self, extra, capsys):
+        code = main(["simulate", "cjpeg", "--length", "40000"] + extra)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sampling_rejects_trace_out(self, tmp_path, capsys):
+        code = main(["simulate", "cjpeg", "--length", "40000",
+                     "--sample-interval", "500",
+                     "--trace-out", str(tmp_path / "t.jsonl")])
+        assert code == 2
+
+    def test_unwritable_checkpoint_dir_is_usage_error(self, capsys):
+        code = main(["simulate", "cjpeg", "--length", "40000",
+                     "--sample-interval", "500",
+                     "--checkpoint-dir", "/proc/nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointCli:
+    """The `repro checkpoint save/info/resume` surface."""
+
+    def _save(self, tmp_path, capsys):
+        path = tmp_path / "wl.ckpt"
+        code = main(["checkpoint", "save", "cjpeg", "--at", "5000",
+                     "--out", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_save_then_info(self, tmp_path, capsys):
+        path = self._save(tmp_path, capsys)
+        assert main(["checkpoint", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-snapshot-v1" in out
+        assert "executor" in out
+        assert "cjpeg" in out
+
+    def test_save_then_resume(self, tmp_path, capsys):
+        path = self._save(tmp_path, capsys)
+        code = main(["checkpoint", "resume", str(path), "--run", "2000",
+                     "--clusters", "2", "--predictor", "stride",
+                     "--steering", "vpb"])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_resume_refuses_machine_snapshot_mismatch(self, tmp_path,
+                                                      capsys):
+        bogus = tmp_path / "not-a-snapshot"
+        bogus.write_text("junk\n")
+        code = main(["checkpoint", "info", str(bogus)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_save_beyond_trace_end_is_usage_error(self, tmp_path, capsys):
+        code = main(["checkpoint", "save", "cjpeg", "--at", "999999999",
+                     "--out", str(tmp_path / "x.ckpt"),
+                     "--max-insts", "10000"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
